@@ -1,0 +1,164 @@
+//! Atom-style mixed-precision quantization (Zhao et al., MLSys 2024).
+//!
+//! Atom reorders activation channels so that the channels containing outliers are grouped
+//! together and kept in INT8, while the remaining channels are quantized to group-wise
+//! INT4. The weight rows are reordered identically so the matmul stays correct.
+
+use mx_tensor::Matrix;
+
+use crate::intq;
+
+/// Identifies the `n_outlier` channels with the largest mean absolute activation.
+#[must_use]
+pub fn top_outlier_channels(activations: &Matrix, n_outlier: usize) -> Vec<usize> {
+    let hidden = activations.cols();
+    let mut saliency: Vec<(usize, f32)> = (0..hidden)
+        .map(|c| {
+            let s: f32 = (0..activations.rows()).map(|r| activations.get(r, c).abs()).sum();
+            (c, s)
+        })
+        .collect();
+    saliency.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<usize> = saliency.into_iter().take(n_outlier.min(hidden)).map(|(c, _)| c).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Atom configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomConfig {
+    /// Number of channels kept in INT8.
+    pub outlier_channels: usize,
+    /// Group size of the INT4 channels.
+    pub group_size: usize,
+}
+
+impl Default for AtomConfig {
+    fn default() -> Self {
+        AtomConfig { outlier_channels: 8, group_size: 128 }
+    }
+}
+
+/// Applies Atom to an activation/weight pair: outlier channels in INT8, others in
+/// group-wise INT4, with consistent channel treatment on both operands.
+///
+/// # Panics
+///
+/// Panics if the operand shapes do not match.
+#[must_use]
+pub fn atom_quantize(activations: &Matrix, weights: &Matrix, config: AtomConfig) -> (Matrix, Matrix) {
+    assert_eq!(activations.cols(), weights.rows(), "inner dimensions must match");
+    let outliers = top_outlier_channels(activations, config.outlier_channels);
+    let is_outlier = |c: usize| outliers.binary_search(&c).is_ok();
+
+    // Activations: quantize outlier channels per-channel INT8, others in row-major groups
+    // of INT4 (within each token row, skipping outlier positions).
+    let mut a_out = activations.clone();
+    for r in 0..activations.rows() {
+        // Gather the non-outlier values of this row.
+        let mut normal_vals = Vec::with_capacity(activations.cols());
+        for c in 0..activations.cols() {
+            if !is_outlier(c) {
+                normal_vals.push(activations.get(r, c));
+            }
+        }
+        let normal_q = intq::quantize_grouped(&normal_vals, 4, config.group_size);
+        let mut it = normal_q.into_iter();
+        for c in 0..activations.cols() {
+            if is_outlier(c) {
+                let q = intq::quantize_symmetric(&[activations.get(r, c)], 8)[0];
+                a_out.set(r, c, q);
+            } else {
+                a_out.set(r, c, it.next().expect("normal value present"));
+            }
+        }
+    }
+
+    // Weights: rows matching outlier channels in INT8, others group-wise INT4 along the
+    // output dimension.
+    let mut w_out = weights.clone();
+    for rrow in 0..weights.rows() {
+        let row: Vec<f32> = (0..weights.cols()).map(|c| weights.get(rrow, c)).collect();
+        let q = if is_outlier(rrow) {
+            intq::quantize_symmetric(&row, 8)
+        } else {
+            intq::quantize_grouped(&row, 4, config.group_size)
+        };
+        for (c, v) in q.into_iter().enumerate() {
+            w_out.set(rrow, c, v);
+        }
+    }
+    (a_out, w_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activations(tokens: usize, hidden: usize) -> Matrix {
+        Matrix::from_fn(tokens, hidden, |r, c| {
+            let v = ((r * hidden + c) as f32 * 0.37).sin() * 0.3;
+            if c == 9 || c == 70 {
+                v + 18.0
+            } else {
+                v
+            }
+        })
+    }
+
+    fn weights(hidden: usize, out: usize) -> Matrix {
+        Matrix::from_fn(hidden, out, |r, c| ((r as f32 * 0.19 - c as f32 * 0.53).sin()) * 0.06)
+    }
+
+    #[test]
+    fn outlier_channel_detection() {
+        let a = activations(8, 128);
+        let top = top_outlier_channels(&a, 2);
+        assert_eq!(top, vec![9, 70]);
+    }
+
+    #[test]
+    fn atom_beats_uniform_int4() {
+        let a = activations(8, 256);
+        let w = weights(256, 32);
+        let exact = a.matmul(&w);
+
+        let plain_a = Matrix::from_vec(a.rows(), a.cols(), intq::quantize_per_row(a.data(), a.cols(), 4));
+        let wt = w.transpose();
+        let plain_w = Matrix::from_vec(wt.rows(), wt.cols(), intq::quantize_per_row(wt.data(), wt.cols(), 4)).transpose();
+        let plain_err = exact.mse(&plain_a.matmul(&plain_w));
+
+        let (aq, wq) = atom_quantize(&a, &w, AtomConfig::default());
+        let atom_err = exact.mse(&aq.matmul(&wq));
+        assert!(atom_err < plain_err, "Atom {atom_err} must beat uniform INT4 {plain_err}");
+    }
+
+    #[test]
+    fn outlier_channels_are_nearly_lossless() {
+        let a = activations(4, 128);
+        let (aq, _) = atom_quantize(&a, &weights(128, 8), AtomConfig { outlier_channels: 2, group_size: 64 });
+        for r in 0..4 {
+            let rel = (a.get(r, 9) - aq.get(r, 9)).abs() / a.get(r, 9).abs();
+            assert!(rel < 0.01, "INT8 outlier channel should be nearly exact, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn more_outlier_channels_reduce_error() {
+        let a = activations(8, 256);
+        let w = weights(256, 16);
+        let exact = a.matmul(&w);
+        let few = atom_quantize(&a, &w, AtomConfig { outlier_channels: 1, group_size: 128 });
+        let many = atom_quantize(&a, &w, AtomConfig { outlier_channels: 16, group_size: 128 });
+        assert!(exact.mse(&many.0.matmul(&many.1)) <= exact.mse(&few.0.matmul(&few.1)));
+    }
+
+    #[test]
+    fn shapes_preserved() {
+        let a = activations(3, 64);
+        let w = weights(64, 8);
+        let (aq, wq) = atom_quantize(&a, &w, AtomConfig::default());
+        assert_eq!(aq.shape(), a.shape());
+        assert_eq!(wq.shape(), w.shape());
+    }
+}

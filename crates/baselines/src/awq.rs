@@ -1,0 +1,174 @@
+//! AWQ-style activation-aware weight scaling (Lin et al., MLSys 2024).
+//!
+//! AWQ is a *weight-only* quantization method: it identifies salient weight channels
+//! (those multiplied by large activations), scales them up before quantization so they are
+//! represented more precisely, and folds the inverse scale into the activations. Table 8
+//! of the paper shows that AWQ composes synergistically with MXFP4+ because scaling up the
+//! important channels makes them more likely to be identified as block-max elements.
+
+use mx_formats::QuantScheme;
+use mx_tensor::Matrix;
+
+use crate::intq;
+
+/// Per-input-channel saliency: the mean absolute activation of each channel.
+#[must_use]
+pub fn channel_saliency(activations: &Matrix) -> Vec<f32> {
+    let hidden = activations.cols();
+    let mut s = vec![0.0_f32; hidden];
+    for r in 0..activations.rows() {
+        for (c, acc) in s.iter_mut().enumerate() {
+            *acc += activations.get(r, c).abs();
+        }
+    }
+    for acc in &mut s {
+        *acc /= activations.rows() as f32;
+    }
+    s
+}
+
+/// Computes the AWQ scaling factors `s_j = saliency_j^alpha`, normalized to have geometric
+/// mean 1 so the overall weight magnitude is preserved.
+#[must_use]
+pub fn awq_scales(activations: &Matrix, alpha: f32) -> Vec<f32> {
+    let saliency = channel_saliency(activations);
+    let mut scales: Vec<f32> = saliency.iter().map(|&s| s.max(1e-5).powf(alpha)).collect();
+    let log_mean = scales.iter().map(|s| s.ln()).sum::<f32>() / scales.len() as f32;
+    let norm = log_mean.exp();
+    for s in &mut scales {
+        *s = (*s / norm).clamp(1e-3, 1e3);
+    }
+    scales
+}
+
+/// The weight format AWQ quantizes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AwqWeightFormat {
+    /// Group-128 symmetric INT4 (the original AWQ setting).
+    Int4,
+    /// MXFP4 blocks.
+    Mxfp4,
+    /// MXFP4+ blocks (Table 8's synergistic combination).
+    Mxfp4Plus,
+}
+
+/// Result of AWQ weight quantization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AwqQuantizedWeights {
+    /// The fake-quantized weights, with the AWQ scaling already folded back out, so they
+    /// can be multiplied directly with the *original* activations.
+    pub weights: Matrix,
+    /// The per-channel scales that were applied before quantization.
+    pub scales: Vec<f32>,
+}
+
+/// Applies AWQ: scale salient weight rows up, quantize, then divide the rows back down.
+///
+/// # Panics
+///
+/// Panics if the activation width does not match the weight height.
+#[must_use]
+pub fn awq_quantize_weights(
+    activations: &Matrix,
+    weights: &Matrix,
+    alpha: f32,
+    format: AwqWeightFormat,
+) -> AwqQuantizedWeights {
+    assert_eq!(activations.cols(), weights.rows(), "inner dimensions must match");
+    let scales = awq_scales(activations, alpha);
+    // Scale rows up.
+    let scaled = Matrix::from_fn(weights.rows(), weights.cols(), |r, c| weights.get(r, c) * scales[r]);
+    // Quantize along the reduction dimension (columns of the transposed matrix).
+    let t = scaled.transpose();
+    let quant_t = match format {
+        AwqWeightFormat::Int4 => {
+            Matrix::from_vec(t.rows(), t.cols(), intq::quantize_grouped(t.data(), 4, 128))
+        }
+        AwqWeightFormat::Mxfp4 => t.quantize_rows(QuantScheme::mxfp4()),
+        AwqWeightFormat::Mxfp4Plus => t.quantize_rows(QuantScheme::mxfp4_plus()),
+    };
+    let quant = quant_t.transpose();
+    // Fold the scale back out.
+    let weights_out = Matrix::from_fn(quant.rows(), quant.cols(), |r, c| quant.get(r, c) / scales[r]);
+    AwqQuantizedWeights { weights: weights_out, scales }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activations(tokens: usize, hidden: usize) -> Matrix {
+        Matrix::from_fn(tokens, hidden, |r, c| {
+            let v = ((r * hidden + c) as f32 * 0.31).sin() * 0.4;
+            if c % 48 == 11 {
+                v * 25.0
+            } else {
+                v
+            }
+        })
+    }
+
+    fn weights(hidden: usize, out: usize) -> Matrix {
+        mx_tensor::synth::weights_with_salient_channels(hidden, out, 0.03, 4.0, 77)
+    }
+
+    #[test]
+    fn saliency_finds_outlier_channels() {
+        let a = activations(16, 96);
+        let s = channel_saliency(&a);
+        assert!(s[11] > 5.0 * s[0]);
+        assert!(s[59] > 5.0 * s[1]);
+    }
+
+    #[test]
+    fn scales_have_geometric_mean_one() {
+        let a = activations(8, 96);
+        let scales = awq_scales(&a, 0.5);
+        let log_mean: f32 = scales.iter().map(|s| s.ln()).sum::<f32>() / scales.len() as f32;
+        assert!(log_mean.abs() < 1e-3);
+    }
+
+    #[test]
+    fn awq_int4_beats_plain_int4_weight_quantization() {
+        let a = activations(16, 256);
+        let w = weights(256, 64);
+        let exact = a.matmul(&w);
+
+        let plain_t = w.transpose();
+        let plain =
+            Matrix::from_vec(plain_t.rows(), plain_t.cols(), intq::quantize_grouped(plain_t.data(), 4, 128))
+                .transpose();
+        let plain_err = exact.mse(&a.matmul(&plain));
+
+        let awq = awq_quantize_weights(&a, &w, 0.5, AwqWeightFormat::Int4);
+        let awq_err = exact.mse(&a.matmul(&awq.weights));
+        assert!(awq_err < plain_err, "AWQ {awq_err} must beat plain INT4 {plain_err}");
+    }
+
+    #[test]
+    fn awq_composes_with_mxfp4_plus_table_8() {
+        // Table 8: AWQ + MXFP4+ beats AWQ + MXFP4 because scaled-up salient weights are
+        // more likely to be the block max and thus receive the extended mantissa.
+        let a = activations(16, 256);
+        let w = weights(256, 64);
+        let exact = a.matmul(&w);
+        let mx = awq_quantize_weights(&a, &w, 0.5, AwqWeightFormat::Mxfp4);
+        let mxp = awq_quantize_weights(&a, &w, 0.5, AwqWeightFormat::Mxfp4Plus);
+        let e_mx = exact.mse(&a.matmul(&mx.weights));
+        let e_mxp = exact.mse(&a.matmul(&mxp.weights));
+        assert!(e_mxp < e_mx, "AWQ+MXFP4+ {e_mxp} must beat AWQ+MXFP4 {e_mx}");
+    }
+
+    #[test]
+    fn scaling_is_transparent_without_quantization() {
+        // Scaling up then dividing back out with no quantization in between is lossless;
+        // verify the machinery itself introduces no bias by using 8-bit weights (nearly
+        // lossless) and checking the error is tiny.
+        let a = activations(4, 96);
+        let w = weights(96, 16);
+        let scales = awq_scales(&a, 0.5);
+        let scaled = Matrix::from_fn(w.rows(), w.cols(), |r, c| w.get(r, c) * scales[r]);
+        let unscaled = Matrix::from_fn(scaled.rows(), scaled.cols(), |r, c| scaled.get(r, c) / scales[r]);
+        assert!(w.mse(&unscaled) < 1e-10);
+    }
+}

@@ -1,0 +1,121 @@
+//! Uniform symmetric integer quantization primitives.
+//!
+//! These are the building blocks of the algorithm-only baselines: per-tensor, per-channel
+//! and per-group symmetric quantization with floating-point scale factors, as used by
+//! SmoothQuant (per-tensor/per-channel INT8/INT4), Atom (per-group INT4 + INT8 outlier
+//! channels), QuaRot (INT4) and Tender (per-group INT4 with power-of-two-like scales).
+
+/// Fake-quantizes a slice with a single symmetric scale: `s = max|x| / (2^(bits-1) - 1)`.
+#[must_use]
+pub fn quantize_symmetric(values: &[f32], bits: u32) -> Vec<f32> {
+    assert!(bits >= 2 && bits <= 8, "bits must be in 2..=8");
+    let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+    let max_abs = values.iter().map(|v| v.abs()).filter(|v| v.is_finite()).fold(0.0_f32, f32::max);
+    if max_abs == 0.0 {
+        return vec![0.0; values.len()];
+    }
+    let scale = max_abs / qmax;
+    values
+        .iter()
+        .map(|&v| {
+            let q = (v / scale).round_ties_even().clamp(-qmax, qmax);
+            q * scale
+        })
+        .collect()
+}
+
+/// Fake-quantizes a slice in groups of `group` elements, each with its own scale
+/// (group-wise quantization; `group == values.len()` degenerates to per-tensor).
+#[must_use]
+pub fn quantize_grouped(values: &[f32], bits: u32, group: usize) -> Vec<f32> {
+    assert!(group > 0, "group size must be positive");
+    let mut out = Vec::with_capacity(values.len());
+    for chunk in values.chunks(group) {
+        out.extend(quantize_symmetric(chunk, bits));
+    }
+    out
+}
+
+/// Per-row (channel) quantization of a row-major matrix buffer.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `cols`.
+#[must_use]
+pub fn quantize_per_row(data: &[f32], cols: usize, bits: u32) -> Vec<f32> {
+    assert!(cols > 0 && data.len() % cols == 0, "matrix shape mismatch");
+    let mut out = Vec::with_capacity(data.len());
+    for row in data.chunks(cols) {
+        out.extend(quantize_symmetric(row, bits));
+    }
+    out
+}
+
+/// Per-tensor quantization of an entire buffer.
+#[must_use]
+pub fn quantize_per_tensor(data: &[f32], bits: u32) -> Vec<f32> {
+    quantize_symmetric(data, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_formats::metrics::mse;
+
+    #[test]
+    fn exact_for_grid_values() {
+        // Values that are integer multiples of max/7 are exactly representable in INT4.
+        let values = [7.0_f32, -7.0, 3.0, 0.0, -1.0];
+        assert_eq!(quantize_symmetric(&values, 4), values);
+    }
+
+    #[test]
+    fn zero_input() {
+        assert_eq!(quantize_symmetric(&[0.0; 8], 4), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let values: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let e4 = mse(&values, &quantize_symmetric(&values, 4));
+        let e8 = mse(&values, &quantize_symmetric(&values, 8));
+        assert!(e8 < e4);
+    }
+
+    #[test]
+    fn outlier_destroys_per_tensor_int4() {
+        // One outlier inflates the per-tensor scale so everything else collapses —
+        // the failure mode that motivates all the outlier-aware schemes.
+        let mut values = vec![0.1_f32; 255];
+        values.push(100.0);
+        let q = quantize_per_tensor(&values, 4);
+        let small_err: f32 = values[..255].iter().zip(&q[..255]).map(|(a, b)| (a - b).abs()).sum::<f32>() / 255.0;
+        assert!(small_err > 0.09, "small values must be destroyed, err {small_err}");
+    }
+
+    #[test]
+    fn grouping_contains_outlier_damage() {
+        let mut values = vec![0.1_f32; 255];
+        values.push(100.0);
+        let per_tensor = quantize_per_tensor(&values, 4);
+        let grouped = quantize_grouped(&values, 4, 32);
+        let pt_err = mse(&values[..224], &per_tensor[..224]);
+        let g_err = mse(&values[..224], &grouped[..224]);
+        assert!(g_err < pt_err, "grouping must protect blocks without the outlier");
+    }
+
+    #[test]
+    fn per_row_independent_scales() {
+        // Two rows with very different ranges quantize independently.
+        let data: Vec<f32> = vec![0.1, 0.2, 0.3, 0.4, 100.0, 200.0, 300.0, 400.0];
+        let q = quantize_per_row(&data, 4, 4);
+        assert!((q[0] - 0.1).abs() < 0.05);
+        assert!((q[4] - 100.0).abs() < 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn rejects_silly_bit_widths() {
+        let _ = quantize_symmetric(&[1.0], 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # mx-baselines
+//!
+//! Comparator quantization schemes used by the paper's Table 7, 8 and 13 analysis:
+//! SmoothQuant-style activation rescaling, QuaRot-style orthogonal rotation, AWQ-style
+//! weight-channel scaling, Atom-style mixed-precision outlier channels, and simplified
+//! analogues of ANT, OliVe and Tender (plus their MX-grouped variants).
+//!
+//! Every scheme is expressed at the matrix-multiplication level: given an activation
+//! matrix `A` (tokens x hidden) and a weight matrix `W` (hidden x out), the scheme
+//! transforms and fake-quantizes both operands so that `A_q x W_q` approximates `A x W`.
+//! The Table 7 harness compares the output error of each scheme on the same calibrated
+//! activations, alongside MXFP4+ / MXFP4++ evaluated identically.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod adaptive;
+pub mod atom;
+pub mod awq;
+pub mod intq;
+pub mod quarot;
+pub mod scheme;
+pub mod smoothquant;
+
+pub use scheme::{BaselineScheme, QuantizedMatmul};

@@ -1,0 +1,294 @@
+//! A unified interface over all comparator schemes, used by the Table 7 harness.
+
+use mx_formats::QuantScheme;
+use mx_tensor::Matrix;
+
+use crate::adaptive;
+use crate::atom::{atom_quantize, AtomConfig};
+use crate::awq::{awq_quantize_weights, AwqWeightFormat};
+use crate::intq;
+use crate::quarot::{quarot, QuarotPrecision};
+use crate::smoothquant::{smoothquant, SmqPrecision};
+
+/// The result of quantizing a matmul's operands with some scheme: the two operands ready
+/// to be multiplied (any operand transforms, like QuaRot's rotation, are already folded in
+/// so `activations x weights` approximates the original product).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatmul {
+    /// Quantized (and possibly transformed) activation operand.
+    pub activations: Matrix,
+    /// Quantized (and possibly transformed) weight operand.
+    pub weights: Matrix,
+}
+
+impl QuantizedMatmul {
+    /// Multiplies the quantized operands.
+    #[must_use]
+    pub fn output(&self) -> Matrix {
+        self.activations.matmul(&self.weights)
+    }
+}
+
+/// Every quantization scheme compared in Table 7 (and the MX/MX+ rows evaluated the same
+/// way for a like-for-like comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineScheme {
+    /// SmoothQuant with INT4 operands.
+    SmoothQuantInt4,
+    /// SmoothQuant quantizing into MXFP4 blocks after smoothing.
+    SmoothQuantMxfp4,
+    /// QuaRot with INT4 operands.
+    QuarotInt4,
+    /// QuaRot quantizing into MXFP4 blocks after rotation.
+    QuarotMxfp4,
+    /// Atom: INT4 groups with INT8 outlier channels.
+    Atom,
+    /// ANT with per-tensor grouping.
+    Ant,
+    /// OliVe with per-tensor grouping.
+    Olive,
+    /// Tender with coarse (two-row) channel groups.
+    Tender,
+    /// ANT at MX (32-element) granularity.
+    MxAnt,
+    /// OliVe at MX granularity.
+    MxOlive,
+    /// Tender at MX granularity.
+    MxTender,
+    /// AWQ weight-only INT4 (activations stay in BF16).
+    AwqInt4,
+    /// MXFP4 for both operands (reference row).
+    Mxfp4,
+    /// MXFP4+ for both operands.
+    Mxfp4Plus,
+    /// MXFP4++ for both operands.
+    Mxfp4PlusPlus,
+}
+
+impl BaselineScheme {
+    /// All Table 7 rows in the paper's order.
+    pub const TABLE7: [BaselineScheme; 13] = [
+        BaselineScheme::SmoothQuantInt4,
+        BaselineScheme::SmoothQuantMxfp4,
+        BaselineScheme::QuarotInt4,
+        BaselineScheme::QuarotMxfp4,
+        BaselineScheme::Atom,
+        BaselineScheme::Ant,
+        BaselineScheme::Olive,
+        BaselineScheme::Tender,
+        BaselineScheme::MxAnt,
+        BaselineScheme::MxOlive,
+        BaselineScheme::MxTender,
+        BaselineScheme::Mxfp4Plus,
+        BaselineScheme::Mxfp4PlusPlus,
+    ];
+
+    /// Display name matching the paper's row labels.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineScheme::SmoothQuantInt4 => "SMQ (INT4)",
+            BaselineScheme::SmoothQuantMxfp4 => "SMQ (MXFP4)",
+            BaselineScheme::QuarotInt4 => "QuaRot (INT4)",
+            BaselineScheme::QuarotMxfp4 => "QuaRot (MXFP4)",
+            BaselineScheme::Atom => "Atom (INT4+INT8)",
+            BaselineScheme::Ant => "ANT",
+            BaselineScheme::Olive => "OliVe",
+            BaselineScheme::Tender => "Tender",
+            BaselineScheme::MxAnt => "MX-ANT",
+            BaselineScheme::MxOlive => "MX-OliVe",
+            BaselineScheme::MxTender => "MX-Tender",
+            BaselineScheme::AwqInt4 => "AWQ (INT4, weight-only)",
+            BaselineScheme::Mxfp4 => "MXFP4",
+            BaselineScheme::Mxfp4Plus => "MXFP4+",
+            BaselineScheme::Mxfp4PlusPlus => "MXFP4++",
+        }
+    }
+
+    /// Quantizes an activation/weight pair with this scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes do not match, or (for QuaRot) if the hidden dimension
+    /// is not a power of two.
+    #[must_use]
+    pub fn apply(&self, activations: &Matrix, weights: &Matrix) -> QuantizedMatmul {
+        let row_quant = |values: &[f32], f: &dyn Fn(&[f32]) -> Vec<f32>, cols: usize| -> Vec<f32> {
+            let mut out = Vec::with_capacity(values.len());
+            for row in values.chunks(cols) {
+                out.extend(f(row));
+            }
+            out
+        };
+        let apply_rows = |m: &Matrix, f: &dyn Fn(&[f32]) -> Vec<f32>| -> Matrix {
+            Matrix::from_vec(m.rows(), m.cols(), row_quant(m.data(), f, m.cols()))
+        };
+        let apply_reduction = |m: &Matrix, f: &dyn Fn(&[f32]) -> Vec<f32>| -> Matrix {
+            let t = m.transpose();
+            apply_rows(&t, f).transpose()
+        };
+        match self {
+            BaselineScheme::SmoothQuantInt4 => {
+                let (a, w) = smoothquant(activations, weights, 0.5, SmqPrecision::Int4);
+                QuantizedMatmul { activations: a, weights: w }
+            }
+            BaselineScheme::SmoothQuantMxfp4 => {
+                let (a, w) = smoothquant(activations, weights, 0.5, SmqPrecision::Mxfp4);
+                QuantizedMatmul { activations: a, weights: w }
+            }
+            BaselineScheme::QuarotInt4 => {
+                let (a, w) = quarot(activations, weights, QuarotPrecision::Int4, 0x5eed);
+                QuantizedMatmul { activations: a, weights: w }
+            }
+            BaselineScheme::QuarotMxfp4 => {
+                let (a, w) = quarot(activations, weights, QuarotPrecision::Mxfp4, 0x5eed);
+                QuantizedMatmul { activations: a, weights: w }
+            }
+            BaselineScheme::Atom => {
+                let (a, w) = atom_quantize(activations, weights, AtomConfig::default());
+                QuantizedMatmul { activations: a, weights: w }
+            }
+            BaselineScheme::Ant => QuantizedMatmul {
+                activations: apply_rows(activations, &adaptive::ant_per_tensor),
+                weights: apply_reduction(weights, &adaptive::ant_per_tensor),
+            },
+            BaselineScheme::Olive => QuantizedMatmul {
+                activations: apply_rows(activations, &adaptive::olive_per_tensor),
+                weights: apply_reduction(weights, &adaptive::olive_per_tensor),
+            },
+            BaselineScheme::Tender => QuantizedMatmul {
+                activations: apply_rows(activations, &|v| adaptive::tender_quantize(v, v.len().max(1))),
+                weights: apply_reduction(weights, &|v| adaptive::tender_quantize(v, v.len().max(1))),
+            },
+            BaselineScheme::MxAnt => QuantizedMatmul {
+                activations: apply_rows(activations, &adaptive::mx_ant),
+                weights: apply_reduction(weights, &adaptive::mx_ant),
+            },
+            BaselineScheme::MxOlive => QuantizedMatmul {
+                activations: apply_rows(activations, &adaptive::mx_olive),
+                weights: apply_reduction(weights, &adaptive::mx_olive),
+            },
+            BaselineScheme::MxTender => QuantizedMatmul {
+                activations: apply_rows(activations, &adaptive::mx_tender),
+                weights: apply_reduction(weights, &adaptive::mx_tender),
+            },
+            BaselineScheme::AwqInt4 => {
+                let awq = awq_quantize_weights(activations, weights, 0.5, AwqWeightFormat::Int4);
+                QuantizedMatmul { activations: activations.clone(), weights: awq.weights }
+            }
+            BaselineScheme::Mxfp4 => QuantizedMatmul {
+                activations: activations.quantize_rows(QuantScheme::mxfp4()),
+                weights: weights.transpose().quantize_rows(QuantScheme::mxfp4()).transpose(),
+            },
+            BaselineScheme::Mxfp4Plus => QuantizedMatmul {
+                activations: activations.quantize_rows(QuantScheme::mxfp4_plus()),
+                weights: weights.transpose().quantize_rows(QuantScheme::mxfp4_plus()).transpose(),
+            },
+            BaselineScheme::Mxfp4PlusPlus => QuantizedMatmul {
+                activations: activations.quantize_rows(QuantScheme::mxfp4_pp()),
+                weights: weights.transpose().quantize_rows(QuantScheme::mxfp4_pp()).transpose(),
+            },
+        }
+    }
+
+    /// Output error (MSE against the exact product) of this scheme on the given operands.
+    #[must_use]
+    pub fn output_mse(&self, activations: &Matrix, weights: &Matrix) -> f64 {
+        let exact = activations.matmul(weights);
+        exact.mse(&self.apply(activations, weights).output())
+    }
+
+    /// The intq module is re-exported here for harnesses that need raw INT baselines.
+    #[must_use]
+    pub fn plain_int4_output_mse(activations: &Matrix, weights: &Matrix) -> f64 {
+        let exact = activations.matmul(weights);
+        let a = Matrix::from_vec(
+            activations.rows(),
+            activations.cols(),
+            intq::quantize_per_row(activations.data(), activations.cols(), 4),
+        );
+        let wt = weights.transpose();
+        let w = Matrix::from_vec(wt.rows(), wt.cols(), intq::quantize_per_row(wt.data(), wt.cols(), 4)).transpose();
+        exact.mse(&a.matmul(&w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_tensor::ActivationProfile;
+
+    fn operands() -> (Matrix, Matrix) {
+        let profile = ActivationProfile::llm(256, 99);
+        let a = profile.sample(8, 0);
+        let w = mx_tensor::synth::xavier_weights(256, 64, 1.0, 5);
+        (a, w)
+    }
+
+    #[test]
+    fn all_schemes_produce_finite_outputs_of_the_right_shape() {
+        let (a, w) = operands();
+        for scheme in BaselineScheme::TABLE7 {
+            let out = scheme.apply(&a, &w).output();
+            assert_eq!(out.shape(), (8, 64), "{}", scheme.name());
+            assert!(out.data().iter().all(|v| v.is_finite()), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn mxfp4_plus_beats_every_4bit_baseline_table_7() {
+        let (a, w) = operands();
+        let reference = BaselineScheme::Mxfp4Plus.output_mse(&a, &w);
+        for scheme in [
+            BaselineScheme::SmoothQuantInt4,
+            BaselineScheme::SmoothQuantMxfp4,
+            BaselineScheme::Ant,
+            BaselineScheme::Olive,
+            BaselineScheme::Tender,
+            BaselineScheme::MxAnt,
+            BaselineScheme::MxOlive,
+            BaselineScheme::MxTender,
+            BaselineScheme::Mxfp4,
+        ] {
+            let e = scheme.output_mse(&a, &w);
+            assert!(
+                reference <= e * 1.05,
+                "{}: MXFP4+ ({reference}) should not lose to {e}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mxfp4_pp_at_least_matches_mxfp4_plus() {
+        let (a, w) = operands();
+        let plus = BaselineScheme::Mxfp4Plus.output_mse(&a, &w);
+        let pp = BaselineScheme::Mxfp4PlusPlus.output_mse(&a, &w);
+        assert!(pp <= plus * 1.05);
+    }
+
+    #[test]
+    fn grouped_variants_improve_on_their_coarse_originals() {
+        let (a, w) = operands();
+        assert!(BaselineScheme::MxAnt.output_mse(&a, &w) <= BaselineScheme::Ant.output_mse(&a, &w));
+        assert!(BaselineScheme::MxOlive.output_mse(&a, &w) <= BaselineScheme::Olive.output_mse(&a, &w));
+        assert!(BaselineScheme::MxTender.output_mse(&a, &w) <= BaselineScheme::Tender.output_mse(&a, &w));
+    }
+
+    #[test]
+    fn atom_is_competitive_but_weaker_than_mx_plus() {
+        let (a, w) = operands();
+        let atom = BaselineScheme::Atom.output_mse(&a, &w);
+        let plain = BaselineScheme::plain_int4_output_mse(&a, &w);
+        assert!(atom < plain, "Atom must beat plain INT4");
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = BaselineScheme::TABLE7.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BaselineScheme::TABLE7.len());
+    }
+}

@@ -1,0 +1,180 @@
+//! SmoothQuant-style activation rescaling (Xiao et al., ICML 2023).
+//!
+//! SmoothQuant migrates quantization difficulty from activations to weights by scaling
+//! each activation channel `j` down by `s_j = max|A_j|^alpha / max|W_j|^(1-alpha)` and the
+//! corresponding weight row up by the same factor, which keeps `A x W` mathematically
+//! unchanged. Both operands are then quantized (INT8 in the original work; the paper's
+//! Table 7 evaluates INT4 and MXFP4 element types, where SmoothQuant falls short).
+
+use mx_formats::QuantScheme;
+use mx_tensor::Matrix;
+
+use crate::intq;
+
+/// Computes the per-channel smoothing factors for an activation/weight pair.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not match or `alpha` is outside `[0, 1]`.
+#[must_use]
+pub fn smoothing_factors(activations: &Matrix, weights: &Matrix, alpha: f32) -> Vec<f32> {
+    assert_eq!(activations.cols(), weights.rows(), "inner dimensions must match");
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    let hidden = activations.cols();
+    let mut a_max = vec![0.0_f32; hidden];
+    for r in 0..activations.rows() {
+        for (c, m) in a_max.iter_mut().enumerate() {
+            *m = m.max(activations.get(r, c).abs());
+        }
+    }
+    let mut w_max = vec![0.0_f32; hidden];
+    for (c, m) in w_max.iter_mut().enumerate() {
+        for j in 0..weights.cols() {
+            *m = m.max(weights.get(c, j).abs());
+        }
+    }
+    a_max
+        .iter()
+        .zip(&w_max)
+        .map(|(&a, &w)| {
+            let s = a.max(1e-5).powf(alpha) / w.max(1e-5).powf(1.0 - alpha);
+            s.clamp(1e-4, 1e4)
+        })
+        .collect()
+}
+
+/// Applies the smoothing factors: activations divided by `s`, weight rows multiplied by `s`.
+#[must_use]
+pub fn apply_smoothing(activations: &Matrix, weights: &Matrix, factors: &[f32]) -> (Matrix, Matrix) {
+    let a = Matrix::from_fn(activations.rows(), activations.cols(), |r, c| activations.get(r, c) / factors[c]);
+    let w = Matrix::from_fn(weights.rows(), weights.cols(), |r, c| weights.get(r, c) * factors[r]);
+    (a, w)
+}
+
+/// The element format SmoothQuant quantizes into after smoothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmqPrecision {
+    /// Per-row (token) INT4 for activations, per-row INT4 for weights.
+    Int4,
+    /// Per-row INT8.
+    Int8,
+    /// MXFP4 blocks (the paper's "SMQ (MXFP4)" row).
+    Mxfp4,
+}
+
+/// Full SmoothQuant pipeline: smooth, then fake-quantize both operands.
+#[must_use]
+pub fn smoothquant(activations: &Matrix, weights: &Matrix, alpha: f32, precision: SmqPrecision) -> (Matrix, Matrix) {
+    let factors = smoothing_factors(activations, weights, alpha);
+    let (a, w) = apply_smoothing(activations, weights, &factors);
+    let quant = |m: &Matrix, along_rows: bool| -> Matrix {
+        match precision {
+            SmqPrecision::Int4 | SmqPrecision::Int8 => {
+                let bits = if precision == SmqPrecision::Int4 { 4 } else { 8 };
+                if along_rows {
+                    Matrix::from_vec(m.rows(), m.cols(), intq::quantize_per_row(m.data(), m.cols(), bits))
+                } else {
+                    let t = m.transpose();
+                    Matrix::from_vec(t.rows(), t.cols(), intq::quantize_per_row(t.data(), t.cols(), bits)).transpose()
+                }
+            }
+            SmqPrecision::Mxfp4 => {
+                if along_rows {
+                    m.quantize_rows(QuantScheme::mxfp4())
+                } else {
+                    m.transpose().quantize_rows(QuantScheme::mxfp4()).transpose()
+                }
+            }
+        }
+    };
+    // Activations quantized along rows (per token), weights along the reduction dimension.
+    (quant(&a, true), quant(&w, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outlier_activations(tokens: usize, hidden: usize) -> Matrix {
+        Matrix::from_fn(tokens, hidden, |r, c| {
+            let v = ((r * hidden + c) as f32 * 0.29).sin() * 0.3;
+            if c % 64 == 7 {
+                v + 12.0
+            } else {
+                v
+            }
+        })
+    }
+
+    fn weights(hidden: usize, out: usize) -> Matrix {
+        Matrix::from_fn(hidden, out, |r, c| ((r as f32 * 0.7 - c as f32 * 0.3).cos()) * 0.05)
+    }
+
+    #[test]
+    fn smoothing_preserves_the_product() {
+        let a = outlier_activations(4, 128);
+        let w = weights(128, 16);
+        let factors = smoothing_factors(&a, &w, 0.5);
+        let (a2, w2) = apply_smoothing(&a, &w, &factors);
+        let exact = a.matmul(&w);
+        let smoothed = a2.matmul(&w2);
+        assert!(exact.mse(&smoothed) < 1e-6, "smoothing must be mathematically neutral");
+    }
+
+    #[test]
+    fn smoothing_reduces_activation_outlier_ratio() {
+        let a = outlier_activations(4, 128);
+        let w = weights(128, 16);
+        let factors = smoothing_factors(&a, &w, 0.5);
+        let (a2, _) = apply_smoothing(&a, &w, &factors);
+        let ratio = |m: &Matrix| {
+            let max = m.data().iter().map(|v| v.abs()).fold(0.0_f32, f32::max);
+            let mean = m.data().iter().map(|v| v.abs()).sum::<f32>() / m.data().len() as f32;
+            max / mean
+        };
+        assert!(ratio(&a2) < ratio(&a), "smoothing must shrink the outlier-to-mean ratio");
+    }
+
+    #[test]
+    fn int8_beats_int4_after_smoothing() {
+        let a = outlier_activations(8, 128);
+        let w = weights(128, 32);
+        let exact = a.matmul(&w);
+        let (a8, w8) = smoothquant(&a, &w, 0.5, SmqPrecision::Int8);
+        let (a4, w4) = smoothquant(&a, &w, 0.5, SmqPrecision::Int4);
+        assert!(exact.mse(&a8.matmul(&w8)) < exact.mse(&a4.matmul(&w4)));
+    }
+
+    #[test]
+    fn smoothquant_falls_apart_at_4_bit_table_7() {
+        // Table 7's qualitative point: SmoothQuant works at 8-bit but collapses at 4-bit,
+        // because migrating activation difficulty into the weights makes the weight
+        // operand too hard for a 4-bit grid.
+        let a = outlier_activations(8, 256);
+        let w = weights(256, 32);
+        let exact = a.matmul(&w);
+        let (a8, w8) = smoothquant(&a, &w, 0.5, SmqPrecision::Int8);
+        let (a4, w4) = smoothquant(&a, &w, 0.5, SmqPrecision::Int4);
+        let e8 = exact.mse(&a8.matmul(&w8));
+        let e4 = exact.mse(&a4.matmul(&w4));
+        assert!(e4 > e8 * 10.0, "INT4 ({e4}) must be far worse than INT8 ({e8}) after smoothing");
+    }
+
+    #[test]
+    fn alpha_extremes_are_valid() {
+        let a = outlier_activations(2, 64);
+        let w = weights(64, 8);
+        for alpha in [0.0, 1.0] {
+            let f = smoothing_factors(&a, &w, alpha);
+            assert!(f.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn rejects_invalid_alpha() {
+        let a = outlier_activations(2, 64);
+        let w = weights(64, 8);
+        let _ = smoothing_factors(&a, &w, 1.5);
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of quantized matrix multiplication: the software fake-quant path
+//! that backs every model-quality experiment, across operand formats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mx_formats::quantize::MatmulQuantConfig;
+use mx_formats::QuantScheme;
+use mx_tensor::{synth, ActivationProfile};
+
+fn quantized_matmul(c: &mut Criterion) {
+    let profile = ActivationProfile::llm(1024, 3);
+    let a = profile.sample(16, 0);
+    let w = synth::xavier_weights(1024, 256, 1.0, 9);
+
+    let mut group = c.benchmark_group("matmul_16x1024x256");
+    group.sample_size(20);
+    for (name, cfg) in [
+        ("BF16", MatmulQuantConfig::BASELINE),
+        ("MXFP4", MatmulQuantConfig::uniform(QuantScheme::mxfp4())),
+        ("A-MXFP4+", MatmulQuantConfig::a_mxfp4_plus()),
+        ("MXFP4++", MatmulQuantConfig::uniform(QuantScheme::mxfp4_pp())),
+        ("MXFP8", MatmulQuantConfig::uniform(QuantScheme::mxfp8())),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(&a).matmul_quantized(std::hint::black_box(&w), *cfg));
+        });
+    }
+    group.finish();
+}
+
+fn gpu_model_sweep(c: &mut Criterion) {
+    use mx_gpu_sim::gemm::{gemm_time, GemmConfig, GemmShape};
+    use mx_gpu_sim::GpuSpec;
+    let gpu = GpuSpec::rtx5090();
+    let mut group = c.benchmark_group("gpu_model_gemm_time");
+    group.sample_size(30);
+    group.bench_function("decode_shape", |b| {
+        b.iter(|| gemm_time(&gpu, GemmShape::new(4, 5120, 5120), std::hint::black_box(GemmConfig::A_MXFP4_PLUS_SW)))
+    });
+    group.bench_function("prefill_shape", |b| {
+        b.iter(|| gemm_time(&gpu, GemmShape::new(4096, 5120, 5120), std::hint::black_box(GemmConfig::MXFP4_PLUS_HW)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, quantized_matmul, gpu_model_sweep);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 2: perplexity of BF16 versus MSFP, SMX and MX formats at low/moderate/high bit
+//! widths, across four models.
+
+use mx_bench::{settings, table};
+use mx_formats::QuantScheme;
+use mx_llm::eval::{Dataset, PerplexityEvaluator};
+use mx_llm::{ModelConfig, ModelQuantConfig};
+
+fn main() {
+    let schemes = QuantScheme::figure2_schemes();
+    let names: Vec<&str> = schemes.iter().map(|(n, _)| n.as_str()).collect();
+    table::header("Figure 2: perplexity (WikiText-2-like, seq 2048 anchor)", &names);
+    for cfg in ModelConfig::figure2_models() {
+        let evaluator = PerplexityEvaluator::new(cfg.clone(), settings::quality(Dataset::Wiki2));
+        let cells: Vec<f64> = schemes
+            .iter()
+            .map(|(_, s)| {
+                let quant = if s.is_lossless_baseline() {
+                    ModelQuantConfig::BASELINE
+                } else {
+                    ModelQuantConfig::uniform(*s)
+                };
+                evaluator.evaluate(quant).perplexity
+            })
+            .collect();
+        table::row(&cfg.name, &cells);
+    }
+    println!("\nExpected shape: MX <= SMX <= MSFP at matched width; every family degrades as bits shrink,");
+    println!("with the low-bit (4-bit) tier degrading most and MXFP4 still ahead of SMX4/MSFP12.");
+}

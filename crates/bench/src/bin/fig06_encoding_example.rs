@@ -1,0 +1,24 @@
+//! Figure 6: MXFP4 versus MXFP4+ encodings of the sampled outlier block.
+
+use mx_formats::{ElementType, MxBlock, MxPlusBlock};
+
+fn main() {
+    let values = [-0.27_f32, -0.19, 0.99, -0.20, -9.84, -0.39];
+    let plain = MxBlock::quantize(ElementType::E2M1, &values);
+    let plus = MxPlusBlock::quantize(ElementType::E2M1, &values);
+
+    println!("=== Figure 6: MX vs MX+ encodings ===");
+    println!("input (BF16)        : {values:?}");
+    println!("shared scale        : 2^{}", plain.scale().exponent().unwrap());
+    println!("MXFP4  dequantized  : {:?}", plain.dequantize());
+    println!("MXFP4+ dequantized  : {:?}", plus.dequantize());
+    println!("MXFP4  codes (SEEM) : {:?}", plain.codes().iter().map(|c| format!("{c:04b}")).collect::<Vec<_>>());
+    println!(
+        "MXFP4+ codes        : {:?}  (BM slot {} holds SMMM with implicit max exponent)",
+        plus.codes().iter().map(|c| format!("{c:04b}")).collect::<Vec<_>>(),
+        plus.bm_index()
+    );
+    println!("MXFP4+ metadata byte: {:08b} (low 5 bits = BM index, top 3 reserved)", plus.metadata_byte());
+    let (h, l) = plus.split_bm();
+    println!("BM split (Eq. 3)    : BM_H = {h}, BM_L = {l} (scaled domain), both E2M1-representable");
+}

@@ -1,0 +1,52 @@
+//! Figure 14: perplexity when the top-k magnitude elements of each block are kept in MXFP6
+//! while others stay in MXFP4, plus the effect of channel reordering.
+
+use mx_bench::{settings, table};
+use mx_formats::reorder::reorder_from_activations;
+use mx_formats::topk::quantize_row_topk;
+use mx_formats::QuantScheme;
+use mx_llm::eval::{Dataset, PerplexityEvaluator};
+use mx_llm::{ModelConfig, ModelQuantConfig};
+use mx_tensor::ActivationProfile;
+
+fn main() {
+    let labels = ["None(FP4)", "Top-1(FP4+)", "Top-2", "Top-3", "Top-4"];
+    table::header("Figure 14: perplexity with top-k elements in MXFP6", &labels);
+    for cfg in [ModelConfig::llama31_8b(), ModelConfig::mistral_7b()] {
+        let evaluator = PerplexityEvaluator::new(cfg.clone(), settings::quality(Dataset::Wiki2));
+        let mut cells = vec![evaluator.evaluate(ModelQuantConfig::uniform(QuantScheme::mxfp4())).perplexity];
+        for k in 1..=4 {
+            cells.push(evaluator.evaluate(ModelQuantConfig::uniform(QuantScheme::TopK(k))).perplexity);
+        }
+        table::row(&cfg.name, &cells);
+    }
+
+    table::header("Figure 14 (bars): % of 3-sigma outliers covered by the MXFP6 set", &["top-1", "top-2", "top-3", "top-4"]);
+    for cfg in [ModelConfig::llama31_8b(), ModelConfig::mistral_7b()] {
+        let profile = ActivationProfile::new(cfg.hidden, 0.25, cfg.outliers, cfg.seed);
+        let acts = profile.sample(64, 0);
+        let cells: Vec<f64> = (1..=4)
+            .map(|k| {
+                let covered: f64 = acts
+                    .iter_rows()
+                    .map(|row| quantize_row_topk(k, row).outlier_coverage)
+                    .sum::<f64>()
+                    / acts.rows() as f64;
+                100.0 * covered
+            })
+            .collect();
+        table::row(&cfg.name, &cells);
+    }
+
+    // Channel reordering scatters co-located outliers so top-1 (i.e. MX+) covers almost all.
+    println!("\nChannel reordering (Section 8.3): multi-outlier block fraction before/after");
+    for cfg in [ModelConfig::llama31_8b(), ModelConfig::mistral_7b()] {
+        let profile = ActivationProfile::new(cfg.hidden, 0.25, cfg.outliers, cfg.seed);
+        let acts = profile.sample(64, 0);
+        let before = mx_formats::reorder::multi_outlier_block_fraction(acts.data(), 64, cfg.hidden);
+        let perm = reorder_from_activations(acts.data(), 64, cfg.hidden);
+        let reordered = perm.apply(acts.data(), 64);
+        let after = mx_formats::reorder::multi_outlier_block_fraction(&reordered, 64, cfg.hidden);
+        println!("  {:>14}: {:.2}% -> {:.2}%", cfg.name, 100.0 * before, 100.0 * after);
+    }
+}

@@ -1,0 +1,20 @@
+//! Table 5: area and power of the MX+ hardware components per Tensor Core.
+
+use mx_bench::table;
+use mx_gpu_sim::areapower::table5_report;
+
+fn main() {
+    let report = table5_report();
+    table::header(
+        "Table 5: area and power for MX+ support per Tensor Core",
+        &["configuration", "area mm^2", "power mW"],
+    );
+    for (name, config, area, power) in &report.components {
+        table::row_str(name, &[config.clone(), format!("{area:.4}"), format!("{power:.2}")]);
+    }
+    table::row_str(
+        "Total",
+        &["".into(), format!("{:.4}", report.total_area_mm2), format!("{:.2}", report.total_power_mw)],
+    );
+    println!("\nPaper: 0.020 mm^2 and 12.11 mW per Tensor Core at 28 nm.");
+}

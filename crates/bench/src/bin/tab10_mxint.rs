@@ -1,0 +1,28 @@
+//! Table 10: MX+ applied to the integer microscaling formats (MXINT8 and a hypothetical
+//! MXINT4).
+
+use mx_bench::{settings, table};
+use mx_formats::QuantScheme;
+use mx_llm::eval::{Dataset, PerplexityEvaluator};
+use mx_llm::{ModelConfig, ModelQuantConfig};
+
+fn main() {
+    table::header(
+        "Table 10: perplexity of integer microscaling formats",
+        &["MXINT8+", "MXINT8", "MXINT4+", "MXINT4"],
+    );
+    for model in [ModelConfig::llama31_8b(), ModelConfig::mistral_7b()] {
+        let evaluator = PerplexityEvaluator::new(model.clone(), settings::quality(Dataset::Wiki2));
+        let cells: Vec<f64> = [
+            QuantScheme::mxint8_plus(),
+            QuantScheme::mxint8(),
+            QuantScheme::mxint4_plus(),
+            QuantScheme::mxint4(),
+        ]
+        .iter()
+        .map(|&s| evaluator.evaluate(ModelQuantConfig::uniform(s)).perplexity)
+        .collect();
+        table::row(&model.name, &cells);
+    }
+    println!("\nPaper shape: the extra fraction bit barely moves MXINT8 but clearly helps MXINT4.");
+}

@@ -1,0 +1,21 @@
+//! Table 11: NVFP4 versus NVFP4+ (the MX+ idea applied to NVIDIA's NVFP4 format).
+
+use mx_bench::table;
+use mx_formats::QuantScheme;
+use mx_llm::quant_config::ModelQuantConfig;
+use mx_llm::tasks::{evaluate_task_suite, Task};
+use mx_llm::ModelConfig;
+
+fn main() {
+    let task_names: Vec<&str> = Task::ALL.iter().map(|t| t.name()).collect();
+    for model in [ModelConfig::llama31_8b(), ModelConfig::mistral_7b()] {
+        table::header(&format!("Table 11: direct-cast accuracy (%), {}", model.name), &task_names);
+        for (name, scheme) in [("NVFP4", QuantScheme::Nvfp4), ("NVFP4+", QuantScheme::Nvfp4Plus)] {
+            let result = evaluate_task_suite(&model, ModelQuantConfig::uniform(scheme), 24);
+            let cells: Vec<f64> = result.tasks.iter().map(|t| t.accuracy_percent).collect();
+            table::row(name, &cells);
+        }
+    }
+    println!("\nPaper shape: NVFP4+ improves on NVFP4 across tasks; MXFP4+/MXFP4++ (Table 2) remain better");
+    println!("than or comparable to NVFP4 thanks to the extra BM precision.");
+}

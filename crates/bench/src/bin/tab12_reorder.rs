@@ -1,0 +1,47 @@
+//! Table 12: channel reordering applied on top of MXFP4+ (query/key matrices).
+
+use mx_bench::table;
+use mx_formats::reorder::{multi_outlier_block_fraction, reorder_from_activations};
+use mx_formats::QuantScheme;
+use mx_llm::ModelConfig;
+use mx_tensor::ActivationProfile;
+
+fn main() {
+    table::header(
+        "Table 12: MXFP4+ with and without channel reordering (activation SQNR, dB)",
+        &["MXFP4+", "Reorder", "multi-outlier blocks before/after %"],
+    );
+    for model in [ModelConfig::llama31_8b(), ModelConfig::mistral_7b()] {
+        // A profile with denser outliers so that co-location actually occurs.
+        let spec = mx_tensor::OutlierSpec {
+            channel_fraction: model.outliers.channel_fraction * 2.0,
+            ..model.outliers
+        };
+        let profile = ActivationProfile::new(model.hidden, 0.25, spec, model.seed ^ 0x12);
+        let acts = profile.sample(64, 0);
+        let rows = 64;
+
+        let sqnr = |data: &[f32]| {
+            let q: Vec<f32> = data
+                .chunks(model.hidden)
+                .flat_map(|row| QuantScheme::mxfp4_plus().quantize_dequantize(row))
+                .collect();
+            mx_formats::metrics::sqnr_db(data, &q)
+        };
+        let baseline = sqnr(acts.data());
+
+        let perm = reorder_from_activations(acts.data(), rows, model.hidden);
+        let reordered_data = perm.apply(acts.data(), rows);
+        let reordered = sqnr(&reordered_data);
+
+        let before = 100.0 * multi_outlier_block_fraction(acts.data(), rows, model.hidden);
+        let after = 100.0 * multi_outlier_block_fraction(&reordered_data, rows, model.hidden);
+        table::row_str(
+            &model.name,
+            &[format!("{baseline:.2}"), format!("{reordered:.2}"), format!("{before:.1} -> {after:.1}")],
+        );
+    }
+    println!("\nPaper shape: reordering scatters co-located outliers (22.5% -> 4.6% multi-outlier blocks in");
+    println!("the paper's sampled query matrix), letting more outliers become block maxima and improving");
+    println!("accuracy on top of MXFP4+.");
+}

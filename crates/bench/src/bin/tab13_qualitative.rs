@@ -1,0 +1,25 @@
+//! Table 13: qualitative comparison of quantization schemes (compute efficiency,
+//! standard/general formats, high accuracy at 4 bits).
+
+use mx_bench::table;
+
+fn main() {
+    let columns = ["Compute eff.", "Standard", "High accuracy"];
+    table::header("Table 13: qualitative comparison", &columns);
+    let rows: [(&str, [&str; 3]); 8] = [
+        ("AWQ", ["no", "yes", "yes"]),
+        ("SqueezeLLM", ["no", "yes", "yes"]),
+        ("SmoothQuant", ["yes", "yes", "no"]),
+        ("QuaRot", ["yes", "yes", "no"]),
+        ("OliVe", ["yes", "no", "no"]),
+        ("Tender", ["yes", "yes", "no"]),
+        ("LLM-FP4", ["yes", "no", "no"]),
+        ("MX+", ["yes", "yes", "yes"]),
+    ];
+    for (name, cells) in rows {
+        table::row_str(name, &cells.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
+    }
+    println!("\nAWQ/SqueezeLLM dequantize to high precision before computing; SmoothQuant/QuaRot lose");
+    println!("accuracy at 4 bits; OliVe/LLM-FP4 use non-standard formats. MX+ keeps the OCP MX layout,");
+    println!("computes directly in low precision, and preserves accuracy via the BM extension.");
+}

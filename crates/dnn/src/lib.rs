@@ -1,0 +1,21 @@
+//! # mx-dnn
+//!
+//! A small CNN / Vision-Transformer forward substrate used to reproduce Table 9 of the
+//! MX+ paper (ImageNet top-1 accuracy of DeiT and ResNet models under MXFP4 and MXFP4+,
+//! with direct-cast and quantization-aware fine-tuning).
+//!
+//! As with the LLM substrate, pre-trained vision weights and ImageNet are not shipped:
+//! the networks run with deterministic synthetic weights and inputs whose activation
+//! statistics carry the scattered outliers the paper describes for vision models, and
+//! accuracy is a margin-based proxy anchored at the paper's FP32 column and driven by the
+//! *measured* logit perturbation of the quantized forward pass.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod eval;
+pub mod models;
+pub mod ops;
+
+pub use eval::{evaluate_vision_model, VisionAccuracyReport};
+pub use models::{VisionModel, VisionModelKind};

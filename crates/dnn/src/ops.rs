@@ -1,0 +1,245 @@
+//! Vision building blocks: im2col convolution, pooling and patch embedding, with the
+//! convolution's inner matrix multiplication quantized like any other dot product.
+
+use mx_formats::quantize::MatmulQuantConfig;
+use mx_tensor::{kernels, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A feature map: `channels` planes of `height x width` values, stored channel-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMap {
+    /// Number of channels.
+    pub channels: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Width in pixels.
+    pub width: usize,
+    /// Channel-major data of length `channels * height * width`.
+    pub data: Vec<f32>,
+}
+
+impl FeatureMap {
+    /// Creates a zero-filled feature map.
+    #[must_use]
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        FeatureMap { channels, height, width, data: vec![0.0; channels * height * width] }
+    }
+
+    /// Creates a feature map from a generator `f(channel, y, x)`.
+    #[must_use]
+    pub fn from_fn(channels: usize, height: usize, width: usize, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(channels * height * width);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    data.push(f(c, y, x));
+                }
+            }
+        }
+        FeatureMap { channels, height, width, data }
+    }
+
+    /// Value at `(channel, y, x)`; zero for out-of-bounds coordinates (implicit padding).
+    #[must_use]
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> f32 {
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            0.0
+        } else {
+            self.data[(c * self.height + y as usize) * self.width + x as usize]
+        }
+    }
+
+    /// Total number of values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A 2-D convolution layer realized as im2col + quantized matmul.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+    /// Weights as a `(kernel*kernel*in_channels, out_channels)` matrix.
+    pub weight: Matrix,
+}
+
+impl Conv2d {
+    /// Creates a convolution with deterministic Xavier weights.
+    #[must_use]
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize, seed: u64) -> Self {
+        let weight = mx_tensor::synth::xavier_weights(kernel * kernel * in_channels, out_channels, 1.4, seed);
+        Conv2d { in_channels, out_channels, kernel, stride, padding, weight }
+    }
+
+    /// Output spatial size for a given input size.
+    #[must_use]
+    pub fn output_size(&self, input: usize) -> usize {
+        (input + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Forward pass with the inner matmul quantized by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count does not match.
+    #[must_use]
+    pub fn forward(&self, input: &FeatureMap, config: MatmulQuantConfig) -> FeatureMap {
+        assert_eq!(input.channels, self.in_channels, "channel mismatch");
+        let oh = self.output_size(input.height);
+        let ow = self.output_size(input.width);
+        // im2col: one row per output pixel, one column per (channel, ky, kx).
+        let cols = self.kernel * self.kernel * self.in_channels;
+        let im2col = Matrix::from_fn(oh * ow, cols, |row, col| {
+            let (oy, ox) = (row / ow, row % ow);
+            let c = col / (self.kernel * self.kernel);
+            let rem = col % (self.kernel * self.kernel);
+            let (ky, kx) = (rem / self.kernel, rem % self.kernel);
+            let y = (oy * self.stride + ky) as isize - self.padding as isize;
+            let x = (ox * self.stride + kx) as isize - self.padding as isize;
+            input.get_padded(c, y, x)
+        });
+        let out = im2col.matmul_quantized(&self.weight, config);
+        // Rearrange (pixels x out_channels) into channel-major planes.
+        let mut fm = FeatureMap::zeros(self.out_channels, oh, ow);
+        for p in 0..oh * ow {
+            for c in 0..self.out_channels {
+                fm.data[c * oh * ow + p] = out.get(p, c);
+            }
+        }
+        fm
+    }
+}
+
+/// Global average pooling over the spatial dimensions: returns one value per channel.
+#[must_use]
+pub fn global_avg_pool(input: &FeatureMap) -> Vec<f32> {
+    let hw = (input.height * input.width) as f32;
+    (0..input.channels)
+        .map(|c| input.data[c * input.height * input.width..(c + 1) * input.height * input.width].iter().sum::<f32>() / hw)
+        .collect()
+}
+
+/// 2x2 max pooling with stride 2.
+#[must_use]
+pub fn max_pool_2x2(input: &FeatureMap) -> FeatureMap {
+    let oh = input.height / 2;
+    let ow = input.width / 2;
+    FeatureMap::from_fn(input.channels, oh, ow, |c, y, x| {
+        let mut best = f32::NEG_INFINITY;
+        for dy in 0..2 {
+            for dx in 0..2 {
+                best = best.max(input.get_padded(c, (2 * y + dy) as isize, (2 * x + dx) as isize));
+            }
+        }
+        best
+    })
+}
+
+/// Applies ReLU in place.
+pub fn relu_inplace(map: &mut FeatureMap) {
+    for v in &mut map.data {
+        *v = kernels::relu(*v);
+    }
+}
+
+/// Splits an image into non-overlapping patches and linearly embeds them (ViT patch
+/// embedding) with the projection quantized by `config`. Returns a `(patches, dim)` matrix.
+#[must_use]
+pub fn patch_embed(input: &FeatureMap, patch: usize, projection: &Matrix, config: MatmulQuantConfig) -> Matrix {
+    let ph = input.height / patch;
+    let pw = input.width / patch;
+    let patch_dim = input.channels * patch * patch;
+    assert_eq!(projection.rows(), patch_dim, "projection must take flattened patches");
+    let patches = Matrix::from_fn(ph * pw, patch_dim, |row, col| {
+        let (py, px) = (row / pw, row % pw);
+        let c = col / (patch * patch);
+        let rem = col % (patch * patch);
+        let (dy, dx) = (rem / patch, rem % patch);
+        input.get_padded(c, (py * patch + dy) as isize, (px * patch + dx) as isize)
+    });
+    patches.matmul_quantized(projection, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_formats::QuantScheme;
+
+    fn image(channels: usize, size: usize) -> FeatureMap {
+        FeatureMap::from_fn(channels, size, size, |c, y, x| {
+            (((c * 31 + y * 7 + x) % 17) as f32 - 8.0) * 0.1
+        })
+    }
+
+    #[test]
+    fn conv_output_shape() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, 1);
+        let out = conv.forward(&image(3, 16), MatmulQuantConfig::BASELINE);
+        assert_eq!((out.channels, out.height, out.width), (8, 16, 16));
+        let strided = Conv2d::new(3, 8, 3, 2, 1, 2);
+        assert_eq!(strided.output_size(16), 8);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        // A 1x1 convolution with an identity weight matrix reproduces the input channels.
+        let mut conv = Conv2d::new(3, 3, 1, 1, 0, 3);
+        conv.weight = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let input = image(3, 8);
+        let out = conv.forward(&input, MatmulQuantConfig::uniform(QuantScheme::Fp32));
+        for (a, b) in input.data.iter().zip(&out.data) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantized_conv_error_ordering() {
+        let conv = Conv2d::new(3, 16, 3, 1, 1, 7);
+        let input = image(3, 16);
+        let exact = conv.forward(&input, MatmulQuantConfig::BASELINE);
+        let fp4 = conv.forward(&input, MatmulQuantConfig::uniform(QuantScheme::mxfp4()));
+        let fp8 = conv.forward(&input, MatmulQuantConfig::uniform(QuantScheme::mxfp8()));
+        let err = |a: &FeatureMap, b: &FeatureMap| mx_formats::metrics::mse(&a.data, &b.data);
+        assert!(err(&exact, &fp8) < err(&exact, &fp4));
+    }
+
+    #[test]
+    fn pooling_shapes_and_values() {
+        let fm = FeatureMap::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+        let pooled = max_pool_2x2(&fm);
+        assert_eq!((pooled.height, pooled.width), (2, 2));
+        assert_eq!(pooled.data, vec![5.0, 7.0, 13.0, 15.0]);
+        let gap = global_avg_pool(&fm);
+        assert_eq!(gap, vec![7.5]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut fm = FeatureMap::from_fn(1, 2, 2, |_, y, x| if (y + x) % 2 == 0 { -1.0 } else { 2.0 });
+        relu_inplace(&mut fm);
+        assert_eq!(fm.data, vec![0.0, 2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn patch_embedding_shape() {
+        let proj = mx_tensor::synth::xavier_weights(3 * 4 * 4, 32, 1.0, 5);
+        let tokens = patch_embed(&image(3, 16), 4, &proj, MatmulQuantConfig::BASELINE);
+        assert_eq!(tokens.shape(), (16, 32));
+    }
+}

@@ -1,0 +1,149 @@
+//! Bfloat16 support.
+//!
+//! The paper's baseline ("B") stores tensors in BF16 and performs matrix multiplications
+//! in BF16 with FP32 accumulation. This module provides a minimal, dependency-free BF16
+//! type with round-to-nearest-even conversion from `f32`, which the tensor and LLM
+//! substrates use for the baseline path.
+
+use serde::{Deserialize, Serialize};
+
+/// A bfloat16 value (1 sign, 8 exponent, 7 mantissa bits).
+///
+/// ```
+/// use mx_formats::Bf16;
+///
+/// let x = Bf16::from_f32(1.0 + 1.0 / 256.0);
+/// // 1 + 2^-8 is exactly halfway between 1.0 and 1 + 2^-7; ties go to even (1.0).
+/// assert_eq!(x.to_f32(), 1.0);
+/// assert_eq!(Bf16::from_f32(3.1416).to_f32(), Bf16::from_f32(3.1416).to_f32());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3f80);
+
+    /// Converts an `f32` to BF16 with round-to-nearest-even.
+    #[must_use]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Preserve a quiet NaN.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits.
+        let round_bit = (bits >> 15) & 1;
+        let sticky = bits & 0x7fff;
+        let mut upper = (bits >> 16) as u16;
+        if round_bit == 1 && (sticky != 0 || (upper & 1) == 1) {
+            upper = upper.wrapping_add(1);
+        }
+        Bf16(upper)
+    }
+
+    /// Converts back to `f32` (exact).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(u32::from(self.0) << 16)
+    }
+
+    /// Raw storage bits.
+    #[must_use]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits.
+    #[must_use]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> Self {
+        x.to_f32()
+    }
+}
+
+/// Rounds an `f32` through BF16 and back: the "fake quantization" used by the baseline.
+#[must_use]
+pub fn round_to_bf16(x: f32) -> f32 {
+    Bf16::from_f32(x).to_f32()
+}
+
+/// Rounds every element of a slice through BF16 in place.
+pub fn round_slice_to_bf16(values: &mut [f32]) {
+    for v in values {
+        *v = round_to_bf16(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for x in [0.0_f32, 1.0, -1.0, 0.5, 2.0, -3.5, 256.0, 1.0e-20, 3.0e38] {
+            let bf = round_to_bf16(x);
+            assert_eq!(round_to_bf16(bf), bf);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_below_2e_minus_3() {
+        for i in 1..1000 {
+            let x = i as f32 * 0.137;
+            let bf = round_to_bf16(x);
+            assert!(((bf - x) / x).abs() < 1.0 / 256.0, "x={x} bf={bf}");
+        }
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 1 + 2^-8 is exactly halfway between representable 1.0 and 1 + 2^-7.
+        assert_eq!(round_to_bf16(1.0 + 1.0 / 256.0), 1.0);
+        // 1 + 3*2^-8 is halfway between 1+2^-7 and 1+2^-6; mantissa of 1+2^-7 is odd,
+        // so the tie rounds up to 1+2^-6.
+        assert_eq!(round_to_bf16(1.0 + 3.0 / 256.0), 1.0 + 2.0 / 128.0);
+    }
+
+    #[test]
+    fn nan_and_infinity_preserved() {
+        assert!(round_to_bf16(f32::NAN).is_nan());
+        assert_eq!(round_to_bf16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_to_bf16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sign_preserved() {
+        assert!(round_to_bf16(-0.1) < 0.0);
+        assert_eq!(round_to_bf16(-2.0), -2.0);
+    }
+
+    #[test]
+    fn slice_rounding_matches_scalar() {
+        let mut v = vec![0.1_f32, 0.2, 0.3, -7.77];
+        let expected: Vec<f32> = v.iter().map(|&x| round_to_bf16(x)).collect();
+        round_slice_to_bf16(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        // Values above the max finite BF16 (~3.39e38) overflow to infinity when rounding up.
+        let big = 3.4e38_f32;
+        let bf = round_to_bf16(big);
+        assert!(bf.is_infinite() || bf <= f32::MAX);
+    }
+}

@@ -1,0 +1,296 @@
+//! Element data types used inside MX blocks.
+//!
+//! The OCP Microscaling specification defines five floating-point element encodings
+//! (E2M1, E2M3, E3M2, E4M3, E5M2) and one integer encoding (INT8). The paper
+//! additionally evaluates a hypothetical INT4 element. [`ElementType`] captures the
+//! static properties of each encoding (bit widths, exponent bias, maximum representable
+//! exponent and magnitude) that the block codecs need.
+
+use serde::{Deserialize, Serialize};
+
+/// Element data types for MX-compliant and related block formats.
+///
+/// The floating-point variants follow the OCP MX specification: `E2M1`, `E2M3` and
+/// `E3M2` have no NaN/Inf encodings, `E4M3` reserves the all-ones exponent + mantissa
+/// pattern for NaN (FN style), and `E5M2` follows IEEE-754 special-value semantics.
+///
+/// ```
+/// use mx_formats::ElementType;
+///
+/// assert_eq!(ElementType::E2M1.bits(), 4);
+/// assert_eq!(ElementType::E2M1.emax(), 2);
+/// assert_eq!(ElementType::E2M1.max_normal(), 6.0);
+/// assert_eq!(ElementType::E4M3.max_normal(), 448.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElementType {
+    /// 4-bit float: 1 sign, 2 exponent, 1 mantissa bit (the MXFP4 element).
+    E2M1,
+    /// 6-bit float: 1 sign, 2 exponent, 3 mantissa bits (an MXFP6 element).
+    E2M3,
+    /// 6-bit float: 1 sign, 3 exponent, 2 mantissa bits (an MXFP6 element).
+    E3M2,
+    /// 8-bit float: 1 sign, 4 exponent, 3 mantissa bits (an MXFP8 element).
+    E4M3,
+    /// 8-bit float: 1 sign, 5 exponent, 2 mantissa bits (an MXFP8 element).
+    E5M2,
+    /// 8-bit two's-complement integer with an implicit scale of 2^-6 (the MXINT8 element).
+    Int8,
+    /// Hypothetical 4-bit two's-complement integer with an implicit scale of 2^-2
+    /// (the paper's MXINT4 exploration, Section 8.2).
+    Int4,
+}
+
+impl ElementType {
+    /// All floating-point element types, in increasing bit width.
+    pub const FP_TYPES: [ElementType; 5] = [
+        ElementType::E2M1,
+        ElementType::E2M3,
+        ElementType::E3M2,
+        ElementType::E4M3,
+        ElementType::E5M2,
+    ];
+
+    /// Total number of bits per element.
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        match self {
+            ElementType::E2M1 | ElementType::Int4 => 4,
+            ElementType::E2M3 | ElementType::E3M2 => 6,
+            ElementType::E4M3 | ElementType::E5M2 | ElementType::Int8 => 8,
+        }
+    }
+
+    /// Number of exponent bits (0 for the integer types).
+    #[must_use]
+    pub const fn exp_bits(self) -> u32 {
+        match self {
+            ElementType::E2M1 | ElementType::E2M3 => 2,
+            ElementType::E3M2 => 3,
+            ElementType::E4M3 => 4,
+            ElementType::E5M2 => 5,
+            ElementType::Int8 | ElementType::Int4 => 0,
+        }
+    }
+
+    /// Number of explicitly stored mantissa (fraction) bits.
+    ///
+    /// For the integer types this is the number of fractional bits of the fixed-point
+    /// interpretation (6 for INT8, 2 for INT4).
+    #[must_use]
+    pub const fn man_bits(self) -> u32 {
+        match self {
+            ElementType::E2M1 => 1,
+            ElementType::E2M3 => 3,
+            ElementType::E3M2 => 2,
+            ElementType::E4M3 => 3,
+            ElementType::E5M2 => 2,
+            ElementType::Int8 => 6,
+            ElementType::Int4 => 2,
+        }
+    }
+
+    /// Exponent bias of the floating-point encoding (0 for integers).
+    #[must_use]
+    pub const fn bias(self) -> i32 {
+        match self {
+            ElementType::E2M1 | ElementType::E2M3 => 1,
+            ElementType::E3M2 => 3,
+            ElementType::E4M3 => 7,
+            ElementType::E5M2 => 15,
+            ElementType::Int8 | ElementType::Int4 => 0,
+        }
+    }
+
+    /// Maximum representable (unbiased) exponent `e_max` used in the MX shared-scale
+    /// computation (Equation 1 of the paper).
+    ///
+    /// For the integer element types `e_max` is 0 because element magnitudes are always
+    /// below 2 (Section 8.2 of the paper).
+    #[must_use]
+    pub const fn emax(self) -> i32 {
+        match self {
+            ElementType::E2M1 | ElementType::E2M3 => 2,
+            ElementType::E3M2 => 4,
+            // E4M3 reserves S.1111.111 for NaN but S.1111.110 is a normal number,
+            // so the maximum exponent is 1111 - bias = 8.
+            ElementType::E4M3 => 8,
+            // E5M2 reserves the all-ones exponent for Inf/NaN, so emax is 11110 - bias = 15.
+            ElementType::E5M2 => 15,
+            ElementType::Int8 | ElementType::Int4 => 0,
+        }
+    }
+
+    /// Largest finite representable magnitude of the element data type.
+    #[must_use]
+    pub fn max_normal(self) -> f32 {
+        match self {
+            ElementType::E2M1 => 6.0,
+            ElementType::E2M3 => 7.5,
+            ElementType::E3M2 => 28.0,
+            ElementType::E4M3 => 448.0,
+            ElementType::E5M2 => 57_344.0,
+            // 127 / 64 and 7 / 4 for the fixed-point integer interpretations.
+            ElementType::Int8 => 127.0 / 64.0,
+            ElementType::Int4 => 7.0 / 4.0,
+        }
+    }
+
+    /// Smallest positive *normal* magnitude of the floating-point encodings
+    /// (2^(1 - bias)); for integers this is one unit in the last place.
+    #[must_use]
+    pub fn min_normal(self) -> f32 {
+        match self {
+            ElementType::Int8 => 1.0 / 64.0,
+            ElementType::Int4 => 0.25,
+            fp => (2.0_f32).powi(1 - fp.bias()),
+        }
+    }
+
+    /// Smallest positive subnormal magnitude (2^(1 - bias - man_bits)); for integers this
+    /// equals [`ElementType::min_normal`].
+    #[must_use]
+    pub fn min_subnormal(self) -> f32 {
+        match self {
+            ElementType::Int8 | ElementType::Int4 => self.min_normal(),
+            fp => (2.0_f32).powi(1 - fp.bias() - fp.man_bits() as i32),
+        }
+    }
+
+    /// Whether the encoding reserves NaN representations (only E4M3 and E5M2 do).
+    #[must_use]
+    pub const fn has_nan(self) -> bool {
+        matches!(self, ElementType::E4M3 | ElementType::E5M2)
+    }
+
+    /// Whether this is one of the integer element types.
+    #[must_use]
+    pub const fn is_int(self) -> bool {
+        matches!(self, ElementType::Int8 | ElementType::Int4)
+    }
+
+    /// Number of extended mantissa bits available to the block-max element under the MX+
+    /// extension: the exponent field is repurposed, so the BM gains `exp_bits` mantissa
+    /// bits on top of the regular ones (Figure 7: E0M3 / E0M5 / E0M7).
+    ///
+    /// For the integer types the single always-one integer bit is made implicit, which
+    /// frees exactly one extra fraction bit (Section 8.2).
+    #[must_use]
+    pub const fn plus_bm_man_bits(self) -> u32 {
+        match self {
+            ElementType::Int8 | ElementType::Int4 => self.man_bits() + 1,
+            _ => self.man_bits() + self.exp_bits(),
+        }
+    }
+
+    /// Short human-readable name ("E2M1", "INT8", ...).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            ElementType::E2M1 => "E2M1",
+            ElementType::E2M3 => "E2M3",
+            ElementType::E3M2 => "E3M2",
+            ElementType::E4M3 => "E4M3",
+            ElementType::E5M2 => "E5M2",
+            ElementType::Int8 => "INT8",
+            ElementType::Int4 => "INT4",
+        }
+    }
+}
+
+impl std::fmt::Display for ElementType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths_are_consistent() {
+        for et in ElementType::FP_TYPES {
+            assert_eq!(1 + et.exp_bits() + et.man_bits(), et.bits(), "{et}");
+        }
+        assert_eq!(ElementType::Int8.bits(), 8);
+        assert_eq!(ElementType::Int4.bits(), 4);
+    }
+
+    #[test]
+    fn emax_matches_paper_examples() {
+        // Paper Section 2: "in MXFP4 ... emax becomes 2 (i.e., 11_2 - 1)".
+        assert_eq!(ElementType::E2M1.emax(), 2);
+        assert_eq!(ElementType::E2M3.emax(), 2);
+        assert_eq!(ElementType::E3M2.emax(), 4);
+        // Paper Section 4.2: "2 for E2M1 and E2M3; 8 for E4M3".
+        assert_eq!(ElementType::E4M3.emax(), 8);
+        assert_eq!(ElementType::E5M2.emax(), 15);
+        assert_eq!(ElementType::Int8.emax(), 0);
+    }
+
+    #[test]
+    fn max_normals_match_known_values() {
+        assert_eq!(ElementType::E2M1.max_normal(), 6.0);
+        assert_eq!(ElementType::E2M3.max_normal(), 7.5);
+        assert_eq!(ElementType::E3M2.max_normal(), 28.0);
+        assert_eq!(ElementType::E4M3.max_normal(), 448.0);
+        assert_eq!(ElementType::E5M2.max_normal(), 57_344.0);
+    }
+
+    #[test]
+    fn max_normal_is_consistent_with_emax_and_mantissa() {
+        for et in [ElementType::E2M1, ElementType::E2M3, ElementType::E3M2] {
+            // No NaN reservation: max mantissa is all ones.
+            let man_max = 1.0 + ((1u32 << et.man_bits()) - 1) as f32 / (1u32 << et.man_bits()) as f32;
+            let expected = man_max * (2.0_f32).powi(et.emax());
+            assert!((et.max_normal() - expected).abs() < 1e-6, "{et}");
+        }
+        // E4M3: mantissa 111 with exponent 1111 is NaN, so the max normal mantissa is 110.
+        let expected = (1.0 + 6.0 / 8.0) * (2.0_f32).powi(8);
+        assert_eq!(ElementType::E4M3.max_normal(), expected);
+    }
+
+    #[test]
+    fn subnormal_below_normal() {
+        for et in ElementType::FP_TYPES {
+            assert!(et.min_subnormal() <= et.min_normal());
+            assert!(et.min_subnormal() > 0.0);
+        }
+    }
+
+    #[test]
+    fn plus_extension_mantissa_widths_match_figure_7() {
+        // MXFP4+: BM stored as E0M3; MXFP6+ (E2M3) as E0M5; MXFP8+ (E4M3) as E0M7.
+        assert_eq!(ElementType::E2M1.plus_bm_man_bits(), 3);
+        assert_eq!(ElementType::E2M3.plus_bm_man_bits(), 5);
+        assert_eq!(ElementType::E4M3.plus_bm_man_bits(), 7);
+        // MXINT8+: 6 -> 7 fraction bits; MXINT4+: 2 -> 3 fraction bits.
+        assert_eq!(ElementType::Int8.plus_bm_man_bits(), 7);
+        assert_eq!(ElementType::Int4.plus_bm_man_bits(), 3);
+    }
+
+    #[test]
+    fn names_round_trip_via_display() {
+        for et in [
+            ElementType::E2M1,
+            ElementType::E2M3,
+            ElementType::E3M2,
+            ElementType::E4M3,
+            ElementType::E5M2,
+            ElementType::Int8,
+            ElementType::Int4,
+        ] {
+            assert_eq!(et.to_string(), et.name());
+        }
+    }
+
+    #[test]
+    fn nan_support_only_for_8_bit_floats() {
+        assert!(ElementType::E4M3.has_nan());
+        assert!(ElementType::E5M2.has_nan());
+        assert!(!ElementType::E2M1.has_nan());
+        assert!(!ElementType::E2M3.has_nan());
+        assert!(!ElementType::E3M2.has_nan());
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the format codecs.
+
+use std::fmt;
+
+/// Errors produced by the format codecs and block packers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// A block was given with a length different from the format's block size.
+    BlockLength {
+        /// Number of elements the format expects per block.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// An element code was out of range for the element data type.
+    InvalidCode {
+        /// The offending raw code.
+        code: u16,
+        /// Number of bits the element data type uses.
+        bits: u32,
+    },
+    /// A packed byte buffer had the wrong length for the requested number of blocks.
+    PackedLength {
+        /// Expected number of bytes.
+        expected: usize,
+        /// Actual number of bytes.
+        actual: usize,
+    },
+    /// The element data type does not support the requested operation
+    /// (e.g. asking for a floating-point exponent field of an integer type).
+    UnsupportedElement {
+        /// Human-readable description of the element type involved.
+        element: &'static str,
+        /// Description of the unsupported operation.
+        operation: &'static str,
+    },
+    /// A tensor dimension was not divisible by the block size where required.
+    Alignment {
+        /// The dimension length.
+        len: usize,
+        /// The required divisor (block size).
+        block: usize,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BlockLength { expected, actual } => {
+                write!(f, "block length mismatch: expected {expected}, got {actual}")
+            }
+            FormatError::InvalidCode { code, bits } => {
+                write!(f, "element code {code:#x} does not fit in {bits} bits")
+            }
+            FormatError::PackedLength { expected, actual } => {
+                write!(f, "packed buffer length mismatch: expected {expected} bytes, got {actual}")
+            }
+            FormatError::UnsupportedElement { element, operation } => {
+                write!(f, "element type {element} does not support {operation}")
+            }
+            FormatError::Alignment { len, block } => {
+                write!(f, "length {len} is not a multiple of the block size {block}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_complete() {
+        let cases: Vec<FormatError> = vec![
+            FormatError::BlockLength { expected: 32, actual: 31 },
+            FormatError::InvalidCode { code: 0x1ff, bits: 8 },
+            FormatError::PackedLength { expected: 17, actual: 16 },
+            FormatError::UnsupportedElement { element: "INT8", operation: "exponent extraction" },
+            FormatError::Alignment { len: 33, block: 32 },
+        ];
+        for case in cases {
+            let msg = case.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("block"));
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<FormatError>();
+    }
+}

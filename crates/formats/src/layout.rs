@@ -1,0 +1,257 @@
+//! Bit-packed storage layouts for MX and MX+ tensors (Figure 7 of the paper).
+//!
+//! Element codes are packed contiguously at their native width (4, 6 or 8 bits), the
+//! shared scales form a separate byte array, and — for MX+ — a third byte array carries
+//! the per-block metadata (5-bit BM index + 3 reserved bits). Keeping the three streams
+//! separate mirrors the paper's observation that the index metadata "does not need to be
+//! stored contiguously with the element data or the shared scale".
+
+use serde::{Deserialize, Serialize};
+
+use crate::element::ElementType;
+use crate::error::FormatError;
+use crate::mxplus::MxPlusBlock;
+use crate::scale::SharedScale;
+
+/// Packs a sequence of element codes of width `bits` into a byte vector (little-endian bit
+/// order within each byte).
+#[must_use]
+pub fn pack_codes(codes: &[u8], bits: u32) -> Vec<u8> {
+    assert!(bits >= 1 && bits <= 8, "element width must be between 1 and 8 bits");
+    let total_bits = codes.len() * bits as usize;
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
+    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 } as u16;
+    for (i, &code) in codes.iter().enumerate() {
+        let value = u16::from(code) & mask;
+        let bit_pos = i * bits as usize;
+        let byte = bit_pos / 8;
+        let offset = bit_pos % 8;
+        out[byte] |= (value << offset) as u8;
+        if offset + bits as usize > 8 {
+            out[byte + 1] |= (value >> (8 - offset)) as u8;
+        }
+    }
+    out
+}
+
+/// Unpacks `count` element codes of width `bits` from a packed byte buffer.
+///
+/// # Errors
+///
+/// Returns [`FormatError::PackedLength`] if the buffer is too short.
+pub fn unpack_codes(packed: &[u8], bits: u32, count: usize) -> Result<Vec<u8>, FormatError> {
+    assert!(bits >= 1 && bits <= 8, "element width must be between 1 and 8 bits");
+    let needed = (count * bits as usize).div_ceil(8);
+    if packed.len() < needed {
+        return Err(FormatError::PackedLength { expected: needed, actual: packed.len() });
+    }
+    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 } as u16;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let bit_pos = i * bits as usize;
+        let byte = bit_pos / 8;
+        let offset = bit_pos % 8;
+        let mut value = u16::from(packed[byte]) >> offset;
+        if offset + bits as usize > 8 {
+            value |= u16::from(packed[byte + 1]) << (8 - offset);
+        }
+        out.push((value & mask) as u8);
+    }
+    Ok(out)
+}
+
+/// A bit-packed MX+ tensor row: element stream, shared-scale stream and metadata stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedMxPlusRow {
+    /// Element data type of the packed codes.
+    pub element: ElementType,
+    /// Number of elements in each block (the last block may be shorter).
+    pub block_size: usize,
+    /// Total number of elements in the row.
+    pub len: usize,
+    /// Bit-packed element codes for all blocks, concatenated.
+    pub elements: Vec<u8>,
+    /// One E8M0 byte per block.
+    pub scales: Vec<u8>,
+    /// One metadata byte per block (5-bit BM index + 3 reserved bits).
+    pub metadata: Vec<u8>,
+}
+
+impl PackedMxPlusRow {
+    /// Packs a sequence of MX+ blocks (as produced by
+    /// [`MxPlusFormat::quantize_row`](crate::mxplus::MxPlusFormat::quantize_row)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks do not all share the same element type, or if a block other
+    /// than the last is shorter than the first block.
+    #[must_use]
+    pub fn pack(blocks: &[MxPlusBlock]) -> Self {
+        assert!(!blocks.is_empty(), "cannot pack an empty block sequence");
+        let element = blocks[0].element();
+        let block_size = blocks[0].len();
+        let mut all_codes = Vec::new();
+        let mut scales = Vec::with_capacity(blocks.len());
+        let mut metadata = Vec::with_capacity(blocks.len());
+        let mut len = 0usize;
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.element(), element, "mixed element types in one packed row");
+            if i + 1 < blocks.len() {
+                assert_eq!(b.len(), block_size, "only the last block may be shorter");
+            }
+            all_codes.extend_from_slice(b.codes());
+            scales.push(b.scale().to_bits());
+            metadata.push(b.metadata_byte());
+            len += b.len();
+        }
+        PackedMxPlusRow {
+            element,
+            block_size,
+            len,
+            elements: pack_codes(&all_codes, element.bits()),
+            scales,
+            metadata,
+        }
+    }
+
+    /// Unpacks back into MX+ blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] if the streams are inconsistent with the stored lengths.
+    pub fn unpack(&self) -> Result<Vec<MxPlusBlock>, FormatError> {
+        let codes = unpack_codes(&self.elements, self.element.bits(), self.len)?;
+        let n_blocks = if self.block_size == 0 { 0 } else { self.len.div_ceil(self.block_size) };
+        if self.scales.len() != n_blocks || self.metadata.len() != n_blocks {
+            return Err(FormatError::PackedLength { expected: n_blocks, actual: self.scales.len() });
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for (i, chunk) in codes.chunks(self.block_size).enumerate() {
+            let scale = SharedScale::from_bits(self.scales[i]);
+            let meta = self.metadata[i];
+            blocks.push(MxPlusBlock::from_parts(
+                self.element,
+                scale,
+                meta & 0x1f,
+                meta >> 5,
+                chunk.to_vec(),
+            )?);
+        }
+        Ok(blocks)
+    }
+
+    /// Total storage in bytes across the three streams.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.elements.len() + self.scales.len() + self.metadata.len()
+    }
+
+    /// Average bits per element of the packed representation.
+    #[must_use]
+    pub fn average_bits_per_element(&self) -> f64 {
+        self.storage_bytes() as f64 * 8.0 / self.len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mxplus::MxPlusFormat;
+
+    fn sample_row(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let u = ((i * 2_654_435_761_usize) % 2001) as f32 / 1000.0 - 1.0;
+                if i % 50 == 9 {
+                    u * 25.0
+                } else {
+                    u
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_unpack_4bit_codes() {
+        let codes: Vec<u8> = (0..32).map(|i| (i % 16) as u8).collect();
+        let packed = pack_codes(&codes, 4);
+        assert_eq!(packed.len(), 16);
+        assert_eq!(unpack_codes(&packed, 4, 32).unwrap(), codes);
+    }
+
+    #[test]
+    fn pack_unpack_6bit_codes() {
+        let codes: Vec<u8> = (0..32).map(|i| ((i * 7) % 64) as u8).collect();
+        let packed = pack_codes(&codes, 6);
+        assert_eq!(packed.len(), 24); // 32 * 6 bits = 192 bits = 24 bytes
+        assert_eq!(unpack_codes(&packed, 6, 32).unwrap(), codes);
+    }
+
+    #[test]
+    fn pack_unpack_8bit_codes() {
+        let codes: Vec<u8> = (0..40).map(|i| (i * 13 % 256) as u8).collect();
+        let packed = pack_codes(&codes, 8);
+        assert_eq!(packed, codes);
+        assert_eq!(unpack_codes(&packed, 8, 40).unwrap(), codes);
+    }
+
+    #[test]
+    fn unpack_detects_short_buffers() {
+        let packed = pack_codes(&[1, 2, 3, 4], 4);
+        assert!(unpack_codes(&packed, 4, 5).is_err());
+    }
+
+    #[test]
+    fn packed_row_round_trips_mxfp4_plus() {
+        let row = sample_row(256);
+        let blocks = MxPlusFormat::MXFP4_PLUS.quantize_row(&row);
+        let packed = PackedMxPlusRow::pack(&blocks);
+        let unpacked = packed.unpack().unwrap();
+        assert_eq!(unpacked.len(), blocks.len());
+        for (a, b) in blocks.iter().zip(&unpacked) {
+            assert_eq!(a.dequantize(), b.dequantize());
+            assert_eq!(a.bm_index(), b.bm_index());
+        }
+    }
+
+    #[test]
+    fn packed_row_round_trips_partial_tail() {
+        let row = sample_row(100); // 3 full blocks + 4-element tail
+        let blocks = MxPlusFormat::MXFP4_PLUS.quantize_row(&row);
+        let packed = PackedMxPlusRow::pack(&blocks);
+        let unpacked = packed.unpack().unwrap();
+        let deq: Vec<f32> = unpacked.iter().flat_map(|b| b.dequantize()).collect();
+        let expected: Vec<f32> = blocks.iter().flat_map(|b| b.dequantize()).collect();
+        assert_eq!(deq, expected);
+        assert_eq!(deq.len(), 100);
+    }
+
+    #[test]
+    fn average_bits_match_section_4_2_for_full_blocks() {
+        // 256 elements in full 32-blocks: MXFP4+ packs to exactly 4.5 bits/element.
+        let row = sample_row(256);
+        let blocks = MxPlusFormat::MXFP4_PLUS.quantize_row(&row);
+        let packed = PackedMxPlusRow::pack(&blocks);
+        assert!((packed.average_bits_per_element() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mxfp8_plus_row_packs_at_one_byte_per_element_plus_overhead() {
+        let row = sample_row(128);
+        let blocks = MxPlusFormat::MXFP8_PLUS.quantize_row(&row);
+        let packed = PackedMxPlusRow::pack(&blocks);
+        assert_eq!(packed.elements.len(), 128);
+        assert_eq!(packed.scales.len(), 4);
+        assert_eq!(packed.metadata.len(), 4);
+        assert!((packed.average_bits_per_element() - 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_metadata_is_rejected() {
+        let row = sample_row(64);
+        let blocks = MxPlusFormat::MXFP4_PLUS.quantize_row(&row);
+        let mut packed = PackedMxPlusRow::pack(&blocks);
+        packed.metadata.pop();
+        assert!(packed.unpack().is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Quantization-error metrics used throughout the paper's analysis (Figures 4 and 5).
+
+use crate::block::{MxBlock, BLOCK_SIZE};
+use crate::element::ElementType;
+
+/// Mean squared error between a reference and a quantized slice.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn mse(reference: &[f32], quantized: &[f32]) -> f64 {
+    assert_eq!(reference.len(), quantized.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty input");
+    reference.iter().zip(quantized).map(|(a, b)| {
+        let d = f64::from(a - b);
+        d * d
+    }).sum::<f64>() / reference.len() as f64
+}
+
+/// Root mean squared error.
+#[must_use]
+pub fn rmse(reference: &[f32], quantized: &[f32]) -> f64 {
+    mse(reference, quantized).sqrt()
+}
+
+/// Maximum absolute elementwise error.
+#[must_use]
+pub fn max_abs_error(reference: &[f32], quantized: &[f32]) -> f32 {
+    assert_eq!(reference.len(), quantized.len(), "length mismatch");
+    reference.iter().zip(quantized).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
+}
+
+/// Signal-to-quantization-noise ratio in decibels: `10 log10(signal power / error power)`.
+///
+/// Returns `f64::INFINITY` when the quantization is exact.
+#[must_use]
+pub fn sqnr_db(reference: &[f32], quantized: &[f32]) -> f64 {
+    let signal: f64 = reference.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+    let noise: f64 = reference.iter().zip(quantized).map(|(a, b)| {
+        let d = f64::from(a - b);
+        d * d
+    }).sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// Per-block error attribution used to reproduce Figure 5: how much of the total MSE is
+/// contributed by the block-max elements versus by the elements with the largest error in
+/// each block.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MseAttribution {
+    /// Total mean squared error over the tensor.
+    pub total_mse: f64,
+    /// Fraction (0..=1) of the total squared error contributed by the block-max element of
+    /// every block.
+    pub bm_fraction: f64,
+    /// Fraction (0..=1) of the total squared error contributed by the single largest-error
+    /// element of every block.
+    pub largest_error_fraction: f64,
+}
+
+/// Computes the Figure 5 attribution for a row quantized with the given MX element type.
+///
+/// The row is split into blocks of `block_size`; each block is quantized with plain MX and
+/// the squared error of (a) the block-max element and (b) the element with the largest
+/// error is accumulated and reported as a fraction of the total squared error.
+#[must_use]
+pub fn bm_mse_attribution(element: ElementType, block_size: usize, values: &[f32]) -> MseAttribution {
+    assert!(block_size > 0, "block size must be positive");
+    let mut total_sq = 0.0_f64;
+    let mut bm_sq = 0.0_f64;
+    let mut largest_sq = 0.0_f64;
+    for chunk in values.chunks(block_size) {
+        let block = MxBlock::quantize(element, chunk);
+        let deq = block.dequantize();
+        let bm = MxBlock::block_max_index(chunk);
+        let mut block_largest = 0.0_f64;
+        for (i, (&x, &q)) in chunk.iter().zip(&deq).enumerate() {
+            let sq = f64::from(x - q) * f64::from(x - q);
+            total_sq += sq;
+            if i == bm {
+                bm_sq += sq;
+            }
+            if sq > block_largest {
+                block_largest = sq;
+            }
+        }
+        largest_sq += block_largest;
+    }
+    if total_sq == 0.0 {
+        return MseAttribution::default();
+    }
+    MseAttribution {
+        total_mse: total_sq / values.len() as f64,
+        bm_fraction: bm_sq / total_sq,
+        largest_error_fraction: largest_sq / total_sq,
+    }
+}
+
+/// Identifies outliers with the 3-sigma rule used by the paper (following OliVe):
+/// returns the indices of elements whose magnitude exceeds `mean(|x|) + 3 * std(|x|)`.
+#[must_use]
+pub fn three_sigma_outliers(values: &[f32]) -> Vec<usize> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().map(|&v| f64::from(v.abs())).sum::<f64>() / n;
+    let var = values.iter().map(|&v| {
+        let d = f64::from(v.abs()) - mean;
+        d * d
+    }).sum::<f64>() / n;
+    let threshold = mean + 3.0 * var.sqrt();
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| f64::from(v.abs()) > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Summary of outlier structure in a (tokens x channels) activation matrix, used by the
+/// channel-reordering analysis (Section 8.3).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OutlierStats {
+    /// Number of outliers detected per channel.
+    pub per_channel_counts: Vec<usize>,
+    /// Total number of outliers.
+    pub total: usize,
+    /// Fraction of 32-element blocks (row-major blocking) that contain at least one outlier.
+    pub blocks_with_outliers: f64,
+    /// Among outlier-containing blocks, the fraction that contain more than one outlier.
+    pub multi_outlier_block_fraction: f64,
+}
+
+/// Computes [`OutlierStats`] for a row-major `rows x cols` matrix.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+#[must_use]
+pub fn outlier_stats(data: &[f32], rows: usize, cols: usize) -> OutlierStats {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    let outliers = three_sigma_outliers(data);
+    let mut per_channel = vec![0usize; cols];
+    for &idx in &outliers {
+        per_channel[idx % cols] += 1;
+    }
+    let mut blocks_with = 0usize;
+    let mut blocks_multi = 0usize;
+    let mut total_blocks = 0usize;
+    let outlier_set: std::collections::HashSet<usize> = outliers.iter().copied().collect();
+    for r in 0..rows {
+        for block_start in (0..cols).step_by(BLOCK_SIZE) {
+            total_blocks += 1;
+            let count = (block_start..(block_start + BLOCK_SIZE).min(cols))
+                .filter(|c| outlier_set.contains(&(r * cols + c)))
+                .count();
+            if count > 0 {
+                blocks_with += 1;
+            }
+            if count > 1 {
+                blocks_multi += 1;
+            }
+        }
+    }
+    OutlierStats {
+        per_channel_counts: per_channel,
+        total: outliers.len(),
+        blocks_with_outliers: if total_blocks == 0 { 0.0 } else { blocks_with as f64 / total_blocks as f64 },
+        multi_outlier_block_fraction: if blocks_with == 0 {
+            0.0
+        } else {
+            blocks_multi as f64 / blocks_with as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_and_rmse_basics() {
+        let a = [1.0_f32, 2.0, 3.0];
+        let b = [1.0_f32, 2.0, 5.0];
+        assert!((mse(&a, &b) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&a, &b) - (4.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(max_abs_error(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn sqnr_infinite_for_exact() {
+        let a = [1.0_f32, -2.0, 0.5];
+        assert_eq!(sqnr_db(&a, &a), f64::INFINITY);
+        let b = [1.1_f32, -2.0, 0.5];
+        assert!(sqnr_db(&a, &b).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_panics_on_length_mismatch() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn bm_attribution_dominates_with_outliers_figure_5() {
+        // Activation-like rows with strong channel outliers: the BM elements contribute a
+        // large share of the MSE under MXFP4 (the paper reports ~60-90%).
+        let values: Vec<f32> = (0..2048)
+            .map(|i| {
+                let u = ((i * 2_654_435_761_usize) % 2001) as f32 / 1000.0 - 1.0;
+                let v = u * u * u * 0.5;
+                if i % 32 == 13 {
+                    (8.0 + u.abs() * 6.0) * u.signum()
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let attr = bm_mse_attribution(ElementType::E2M1, BLOCK_SIZE, &values);
+        assert!(attr.bm_fraction > 0.4, "BM fraction {}", attr.bm_fraction);
+        // The largest-error element is at least as big a contributor as the BM element.
+        assert!(attr.largest_error_fraction >= attr.bm_fraction - 1e-12);
+        assert!(attr.largest_error_fraction <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn bm_attribution_zero_for_exact_quantization() {
+        // Values already on the E2M1 grid with a power-of-two max quantize exactly.
+        let values = vec![0.5_f32, 1.0, 2.0, 4.0];
+        let attr = bm_mse_attribution(ElementType::E2M1, 4, &values);
+        assert_eq!(attr.total_mse, 0.0);
+        assert_eq!(attr.bm_fraction, 0.0);
+    }
+
+    #[test]
+    fn three_sigma_finds_planted_outliers() {
+        let mut values = vec![0.1_f32; 256];
+        values[17] = 9.0;
+        values[101] = -12.0;
+        let out = three_sigma_outliers(&values);
+        assert_eq!(out, vec![17, 101]);
+    }
+
+    #[test]
+    fn three_sigma_empty_and_uniform() {
+        assert!(three_sigma_outliers(&[]).is_empty());
+        assert!(three_sigma_outliers(&[0.5; 64]).is_empty());
+    }
+
+    #[test]
+    fn outlier_stats_channel_concentration() {
+        // 8 tokens x 64 channels with outliers always in channel 5.
+        let rows = 8;
+        let cols = 64;
+        let mut data = vec![0.05_f32; rows * cols];
+        for r in 0..rows {
+            data[r * cols + 5] = 20.0;
+        }
+        let stats = outlier_stats(&data, rows, cols);
+        assert_eq!(stats.total, rows);
+        assert_eq!(stats.per_channel_counts[5], rows);
+        assert!(stats.per_channel_counts.iter().enumerate().all(|(c, &n)| c == 5 || n == 0));
+        // Outliers land in the first of the two 32-channel blocks of every row.
+        assert!((stats.blocks_with_outliers - 0.5).abs() < 1e-12);
+        assert_eq!(stats.multi_outlier_block_fraction, 0.0);
+    }
+
+    #[test]
+    fn outlier_stats_multi_outlier_blocks() {
+        let rows = 4;
+        let cols = 32;
+        let mut data = vec![0.02_f32; rows * cols];
+        for r in 0..rows {
+            data[r * cols + 3] = 15.0;
+            data[r * cols + 9] = -18.0;
+        }
+        let stats = outlier_stats(&data, rows, cols);
+        assert_eq!(stats.multi_outlier_block_fraction, 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Integer-element microscaling formats: MXINT8, the paper's hypothetical MXINT4, and
+//! their MX+ extensions (Section 8.2, Table 10).
+//!
+//! MXINT8 stores each element as a two's-complement INT8 with an implicit scale of 2^-6,
+//! so element magnitudes are always below 2 and `e_max` is 0 in the shared-exponent
+//! computation. The MX+ idea transfers directly: the block-max element is always of the
+//! form ±1.xxxxxx after scaling, so its integer bit is redundant and can be made implicit
+//! to gain one extra fraction bit.
+
+use crate::block::{fake_quantize_row, BLOCK_SIZE};
+use crate::element::ElementType;
+use crate::mxplus::MxPlusFormat;
+use crate::mxpp::fake_quantize_row_pp;
+
+/// Direct-cast fake quantization of a row with MXINT8.
+#[must_use]
+pub fn mxint8_quantize_dequantize(values: &[f32]) -> Vec<f32> {
+    fake_quantize_row(ElementType::Int8, BLOCK_SIZE, values)
+}
+
+/// Direct-cast fake quantization of a row with MXINT8+ (implicit integer bit for the BM).
+#[must_use]
+pub fn mxint8_plus_quantize_dequantize(values: &[f32]) -> Vec<f32> {
+    MxPlusFormat::MXINT8_PLUS.quantize_dequantize(values)
+}
+
+/// Direct-cast fake quantization of a row with the hypothetical MXINT4.
+#[must_use]
+pub fn mxint4_quantize_dequantize(values: &[f32]) -> Vec<f32> {
+    fake_quantize_row(ElementType::Int4, BLOCK_SIZE, values)
+}
+
+/// Direct-cast fake quantization of a row with MXINT4+.
+#[must_use]
+pub fn mxint4_plus_quantize_dequantize(values: &[f32]) -> Vec<f32> {
+    MxPlusFormat::MXINT4_PLUS.quantize_dequantize(values)
+}
+
+/// Direct-cast fake quantization of a row with an MX++-style NBM scale decoupling applied
+/// to the integer element types (not evaluated in the paper, provided for completeness of
+/// the ablation benches).
+#[must_use]
+pub fn mxint4_pp_quantize_dequantize(values: &[f32]) -> Vec<f32> {
+    fake_quantize_row_pp(ElementType::Int4, BLOCK_SIZE, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mse(a: &[f32], b: &[f32]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| ((x - y) * (x - y)) as f64).sum::<f64>() / a.len() as f64
+    }
+
+    fn activations(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let u = ((i * 2_654_435_761_usize) % 2001) as f32 / 1000.0 - 1.0;
+                let v = u * u * u;
+                if i % 113 == 7 {
+                    v * 45.0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn int8_plus_barely_helps_table_10() {
+        // Table 10: going from 6 to 7 fraction bits for the BM "barely helps" MXINT8.
+        let row = activations(4096);
+        let plain = mse(&row, &mxint8_quantize_dequantize(&row));
+        let plus = mse(&row, &mxint8_plus_quantize_dequantize(&row));
+        assert!(plus <= plain + 1e-12);
+        // The improvement is marginal: well under a 10% MSE reduction.
+        assert!(plus >= plain * 0.9, "MXINT8+ improvement should be marginal: {plus} vs {plain}");
+    }
+
+    #[test]
+    fn int4_plus_helps_clearly_table_10() {
+        // Table 10: MXINT4 benefits from the extra fraction bit similarly to MXFP4+.
+        let row = activations(4096);
+        let plain = mse(&row, &mxint4_quantize_dequantize(&row));
+        let plus = mse(&row, &mxint4_plus_quantize_dequantize(&row));
+        assert!(plus < plain, "MXINT4+ {plus} must improve on MXINT4 {plain}");
+        assert!(plus < plain * 0.95);
+    }
+
+    #[test]
+    fn int8_is_much_more_accurate_than_int4() {
+        let row = activations(2048);
+        let i8_err = mse(&row, &mxint8_quantize_dequantize(&row));
+        let i4_err = mse(&row, &mxint4_quantize_dequantize(&row));
+        assert!(i8_err < i4_err / 4.0);
+    }
+
+    #[test]
+    fn lengths_preserved() {
+        let row = activations(77);
+        for f in [
+            mxint8_quantize_dequantize(&row),
+            mxint8_plus_quantize_dequantize(&row),
+            mxint4_quantize_dequantize(&row),
+            mxint4_plus_quantize_dequantize(&row),
+            mxint4_pp_quantize_dequantize(&row),
+        ] {
+            assert_eq!(f.len(), 77);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Channel reordering (Section 8.3): scattering co-located outliers across blocks.
+//!
+//! Activation outliers are concentrated in a small number of channels (Figure 4a). When
+//! two outlier channels fall into the same 32-channel MX block, only one of them can be
+//! the block max, so the other keeps its large quantization error. The paper proposes an
+//! optional channel-wise reordering that places the most outlier-heavy channels one per
+//! block, so that (almost) every outlier becomes a BM and benefits from the MX+ extended
+//! mantissa.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::BLOCK_SIZE;
+use crate::metrics::three_sigma_outliers;
+
+/// A channel permutation: `new_order[i]` is the original channel placed at position `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelPermutation {
+    new_order: Vec<usize>,
+}
+
+impl ChannelPermutation {
+    /// Identity permutation over `cols` channels.
+    #[must_use]
+    pub fn identity(cols: usize) -> Self {
+        ChannelPermutation { new_order: (0..cols).collect() }
+    }
+
+    /// Builds the permutation from an explicit ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_order` is not a permutation of `0..new_order.len()`.
+    #[must_use]
+    pub fn from_order(new_order: Vec<usize>) -> Self {
+        let mut seen = vec![false; new_order.len()];
+        for &c in &new_order {
+            assert!(c < new_order.len() && !seen[c], "not a permutation");
+            seen[c] = true;
+        }
+        ChannelPermutation { new_order }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.new_order.len()
+    }
+
+    /// Whether the permutation is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.new_order.is_empty()
+    }
+
+    /// The ordering: position `i` holds original channel `order()[i]`.
+    #[must_use]
+    pub fn order(&self) -> &[usize] {
+        &self.new_order
+    }
+
+    /// Applies the permutation to a row-major `rows x cols` matrix, returning the
+    /// reordered matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not `rows * self.len()`.
+    #[must_use]
+    pub fn apply(&self, data: &[f32], rows: usize) -> Vec<f32> {
+        let cols = self.new_order.len();
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        let mut out = vec![0.0; data.len()];
+        for r in 0..rows {
+            for (new_c, &old_c) in self.new_order.iter().enumerate() {
+                out[r * cols + new_c] = data[r * cols + old_c];
+            }
+        }
+        out
+    }
+
+    /// Applies the inverse permutation (restoring the original channel order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not `rows * self.len()`.
+    #[must_use]
+    pub fn invert(&self, data: &[f32], rows: usize) -> Vec<f32> {
+        let cols = self.new_order.len();
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        let mut out = vec![0.0; data.len()];
+        for r in 0..rows {
+            for (new_c, &old_c) in self.new_order.iter().enumerate() {
+                out[r * cols + old_c] = data[r * cols + new_c];
+            }
+        }
+        out
+    }
+}
+
+/// Counts 3-sigma outliers per channel of a row-major `rows x cols` matrix.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+#[must_use]
+pub fn per_channel_outlier_counts(data: &[f32], rows: usize, cols: usize) -> Vec<usize> {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    let mut counts = vec![0usize; cols];
+    for &idx in &three_sigma_outliers(data) {
+        counts[idx % cols] += 1;
+    }
+    let _ = rows;
+    counts
+}
+
+/// Builds the paper's reordering from per-channel outlier counts.
+///
+/// Channels are sorted by outlier count (descending). The heaviest channels are placed one
+/// every [`BLOCK_SIZE`] positions; the remaining sorted channels are split in half, the
+/// lower half filling the remaining slots in descending order followed by the upper half
+/// (Section 8.3).
+#[must_use]
+pub fn reorder_by_outlier_count(counts: &[usize]) -> ChannelPermutation {
+    let cols = counts.len();
+    if cols == 0 {
+        return ChannelPermutation::identity(0);
+    }
+    // Sort channel indices by outlier count descending (stable by index for determinism).
+    let mut sorted: Vec<usize> = (0..cols).collect();
+    sorted.sort_by_key(|&c| (std::cmp::Reverse(counts[c]), c));
+
+    let n_blocks = cols.div_ceil(BLOCK_SIZE);
+    let n_leaders = n_blocks.min(cols);
+
+    let mut order = vec![usize::MAX; cols];
+    // Leaders: one per block at the block's first position.
+    for (b, &c) in sorted.iter().take(n_leaders).enumerate() {
+        order[b * BLOCK_SIZE] = c;
+    }
+    // Remaining channels: lower half (next heaviest) then upper half, filling the gaps in
+    // descending order of outlier count.
+    let rest: Vec<usize> = sorted[n_leaders..].to_vec();
+    let half = rest.len() / 2;
+    let fill: Vec<usize> = rest[..half].iter().chain(rest[half..].iter()).copied().collect();
+    let mut fill_iter = fill.into_iter();
+    for slot in order.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = fill_iter.next().expect("fill list exhausted prematurely");
+        }
+    }
+    ChannelPermutation::from_order(order)
+}
+
+/// Convenience: derive the permutation directly from an activation matrix.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+#[must_use]
+pub fn reorder_from_activations(data: &[f32], rows: usize, cols: usize) -> ChannelPermutation {
+    reorder_by_outlier_count(&per_channel_outlier_counts(data, rows, cols))
+}
+
+/// Fraction of outlier-containing [`BLOCK_SIZE`]-channel blocks that hold more than one
+/// outlier, before/after statistics used in Section 8.3 ("decreases from 22.52% to 4.58%").
+#[must_use]
+pub fn multi_outlier_block_fraction(data: &[f32], rows: usize, cols: usize) -> f64 {
+    crate::metrics::outlier_stats(data, rows, cols).multi_outlier_block_fraction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic activation matrix with outliers concentrated in the given channels.
+    fn activations(rows: usize, cols: usize, outlier_channels: &[usize]) -> Vec<f32> {
+        let mut data = vec![0.0_f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                let u = (((r * cols + c) * 2_654_435_761_usize) % 2001) as f32 / 1000.0 - 1.0;
+                data[r * cols + c] = u * 0.1;
+            }
+            for &oc in outlier_channels {
+                data[r * cols + oc] = 15.0 + (r as f32 * 0.3);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let p = ChannelPermutation::identity(8);
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        assert_eq!(p.apply(&data, 2), data);
+        assert_eq!(p.invert(&data, 2), data);
+    }
+
+    #[test]
+    fn apply_then_invert_is_identity() {
+        let p = ChannelPermutation::from_order(vec![2, 0, 3, 1]);
+        let data: Vec<f32> = (0..12).map(|i| i as f32 * 0.5).collect();
+        let reordered = p.apply(&data, 3);
+        assert_eq!(p.invert(&reordered, 3), data);
+        assert_ne!(reordered, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn from_order_rejects_duplicates() {
+        let _ = ChannelPermutation::from_order(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn per_channel_counts_find_outlier_channels() {
+        let data = activations(16, 64, &[7, 40]);
+        let counts = per_channel_outlier_counts(&data, 16, 64);
+        assert_eq!(counts[7], 16);
+        assert_eq!(counts[40], 16);
+        assert!(counts.iter().enumerate().all(|(c, &n)| c == 7 || c == 40 || n == 0));
+    }
+
+    #[test]
+    fn reorder_scatters_colocated_outliers() {
+        // Two outlier channels in the SAME 32-channel block (3 and 9): after reordering
+        // they must land in different blocks.
+        let data = activations(16, 64, &[3, 9]);
+        let before = multi_outlier_block_fraction(&data, 16, 64);
+        assert_eq!(before, 1.0);
+        let perm = reorder_from_activations(&data, 16, 64);
+        let reordered = perm.apply(&data, 16);
+        let after = multi_outlier_block_fraction(&reordered, 16, 64);
+        assert_eq!(after, 0.0);
+    }
+
+    #[test]
+    fn reorder_places_leaders_at_block_starts() {
+        let data = activations(8, 96, &[10, 42, 80]);
+        let perm = reorder_from_activations(&data, 8, 96);
+        let leaders: Vec<usize> = (0..3).map(|b| perm.order()[b * BLOCK_SIZE]).collect();
+        let mut sorted_leaders = leaders.clone();
+        sorted_leaders.sort_unstable();
+        assert_eq!(sorted_leaders, vec![10, 42, 80]);
+    }
+
+    #[test]
+    fn reorder_is_a_valid_permutation_even_without_outliers() {
+        let data = activations(4, 64, &[]);
+        let perm = reorder_from_activations(&data, 4, 64);
+        assert_eq!(perm.len(), 64);
+        let mut order = perm.order().to_vec();
+        order.sort_unstable();
+        assert_eq!(order, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reorder_handles_non_multiple_of_block_size() {
+        let data = activations(4, 40, &[1, 35]);
+        let perm = reorder_from_activations(&data, 4, 40);
+        assert_eq!(perm.len(), 40);
+        let reordered = perm.apply(&data, 4);
+        assert_eq!(perm.invert(&reordered, 4), data);
+    }
+}

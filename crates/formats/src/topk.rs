@@ -1,0 +1,160 @@
+//! Top-k mixed-precision blocks (Figure 14 of the paper).
+//!
+//! Section 8.3 analyses how much model quality would improve if the *k* largest-magnitude
+//! elements of every MX block were kept in MXFP6 (E2M3) while the rest stay in MXFP4.
+//! This module implements that hybrid block quantizer and the outlier-coverage statistic
+//! plotted in Figure 14 (percentage of 3-sigma outliers that end up in the MXFP6 set).
+
+use crate::block::BLOCK_SIZE;
+use crate::element::ElementType;
+use crate::metrics::three_sigma_outliers;
+use crate::minifloat;
+use crate::scale::{self, SharedScale};
+
+/// Result of quantizing a row with the top-k hybrid scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// The fake-quantized values.
+    pub values: Vec<f32>,
+    /// Fraction (0..=1) of the row's 3-sigma outliers that were represented in MXFP6.
+    pub outlier_coverage: f64,
+}
+
+/// Quantizes one block keeping the `k` largest-magnitude elements in `high` precision and
+/// the rest in `low` precision, under a single MX shared scale derived from the block max
+/// and the low element type's `e_max` (so the layout stays MX-compatible).
+#[must_use]
+pub fn quantize_block_topk(low: ElementType, high: ElementType, k: usize, values: &[f32]) -> Vec<f32> {
+    let Some(shared_exp) = scale::shared_exponent(values, low.emax()) else {
+        return vec![0.0; values.len()];
+    };
+    let s = SharedScale::from_exponent(shared_exp).value();
+
+    // Indices of the k largest magnitudes.
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[b].abs().partial_cmp(&values[a].abs()).unwrap_or(std::cmp::Ordering::Equal));
+    let top: std::collections::HashSet<usize> = idx.into_iter().take(k).collect();
+
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let et = if top.contains(&i) { high } else { low };
+            let scaled = v / s;
+            let q = if et.is_int() { minifloat::quantize_int(et, scaled) } else { minifloat::quantize_fp(et, scaled) };
+            q * s
+        })
+        .collect()
+}
+
+/// Quantizes a whole row with the top-k hybrid scheme (MXFP4 base, MXFP6/E2M3 for the top
+/// `k` elements of every 32-element block) and reports outlier coverage.
+#[must_use]
+pub fn quantize_row_topk(k: usize, values: &[f32]) -> TopKResult {
+    quantize_row_topk_with(ElementType::E2M1, ElementType::E2M3, BLOCK_SIZE, k, values)
+}
+
+/// Fully parameterised top-k row quantizer.
+#[must_use]
+pub fn quantize_row_topk_with(
+    low: ElementType,
+    high: ElementType,
+    block_size: usize,
+    k: usize,
+    values: &[f32],
+) -> TopKResult {
+    assert!(block_size > 0, "block size must be positive");
+    let outliers: std::collections::HashSet<usize> = three_sigma_outliers(values).into_iter().collect();
+    let mut covered = 0usize;
+    let mut out = Vec::with_capacity(values.len());
+    for (b, chunk) in values.chunks(block_size).enumerate() {
+        // Determine which global indices fall in the top-k of this block.
+        let mut idx: Vec<usize> = (0..chunk.len()).collect();
+        idx.sort_by(|&x, &y| chunk[y].abs().partial_cmp(&chunk[x].abs()).unwrap_or(std::cmp::Ordering::Equal));
+        for &local in idx.iter().take(k) {
+            if outliers.contains(&(b * block_size + local)) {
+                covered += 1;
+            }
+        }
+        out.extend(quantize_block_topk(low, high, k, chunk));
+    }
+    let coverage = if outliers.is_empty() { 1.0 } else { covered as f64 / outliers.len() as f64 };
+    TopKResult { values: out, outlier_coverage: coverage }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+    use crate::mxfp::MxFormat;
+
+    fn activations(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let u = ((i * 2_654_435_761_usize) % 2001) as f32 / 1000.0 - 1.0;
+                let v = u * u * u * 0.4;
+                // Two outliers co-located in some blocks.
+                if i % 64 == 5 || i % 64 == 21 {
+                    (6.0 + u.abs() * 8.0) * u.signum()
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn top_zero_equals_plain_mxfp4() {
+        let row = activations(512);
+        let topk = quantize_row_topk(0, &row);
+        let plain = MxFormat::MXFP4.quantize_dequantize(&row);
+        assert_eq!(topk.values, plain);
+    }
+
+    #[test]
+    fn error_decreases_monotonically_with_k_figure_14() {
+        let row = activations(2048);
+        let errors: Vec<f64> = (0..=4).map(|k| mse(&row, &quantize_row_topk(k, &row).values)).collect();
+        for w in errors.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "top-k error must not increase with k: {errors:?}");
+        }
+        // Top-1 alone removes a substantial share of the error (the BM insight).
+        assert!(errors[1] < errors[0] * 0.8, "top-1 should remove a large share: {errors:?}");
+    }
+
+    #[test]
+    fn diminishing_returns_beyond_top_2() {
+        // Figure 14: gains beyond top-2 are marginal because most activation outliers are
+        // covered at k=2.
+        let row = activations(4096);
+        let e1 = mse(&row, &quantize_row_topk(1, &row).values);
+        let e2 = mse(&row, &quantize_row_topk(2, &row).values);
+        let e4 = mse(&row, &quantize_row_topk(4, &row).values);
+        let gain_1_to_2 = e1 - e2;
+        let gain_2_to_4 = e2 - e4;
+        assert!(gain_2_to_4 <= gain_1_to_2 + 1e-12);
+    }
+
+    #[test]
+    fn outlier_coverage_grows_with_k() {
+        let row = activations(4096);
+        let c1 = quantize_row_topk(1, &row).outlier_coverage;
+        let c2 = quantize_row_topk(2, &row).outlier_coverage;
+        assert!(c2 >= c1);
+        // With two outliers per 64 elements (one per 32-block on average but co-located in
+        // some blocks), top-2 must cover essentially all of them.
+        assert!(c2 > 0.95, "top-2 coverage {c2}");
+    }
+
+    #[test]
+    fn zero_block_handling() {
+        let out = quantize_block_topk(ElementType::E2M1, ElementType::E2M3, 2, &[0.0; 8]);
+        assert_eq!(out, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn coverage_is_one_when_there_are_no_outliers() {
+        let row = vec![0.25_f32; 128];
+        assert_eq!(quantize_row_topk(1, &row).outlier_coverage, 1.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Area and power model of the MX+ hardware extension (Table 5).
+//!
+//! The paper synthesizes the three added components — Forward-and-Swap Units (FSU), the
+//! BM Detector and the BM Compute Unit (BCU) — with a commercial 28 nm library. We model
+//! each component with a gate-count estimate and 28 nm per-gate area/power constants, and
+//! reproduce the per-Tensor-Core accounting of Table 5.
+
+use serde::{Deserialize, Serialize};
+
+/// 28 nm NAND2-equivalent gate area in square millimetres (~0.6 um^2).
+pub const GATE_AREA_MM2: f64 = 0.6e-6;
+/// Average switching + leakage power per NAND2-equivalent gate at ~1 GHz, in milliwatts.
+pub const GATE_POWER_MW: f64 = 3.6e-4;
+
+/// One added hardware component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Component name as it appears in Table 5.
+    pub name: &'static str,
+    /// Configuration string (e.g. "32 x (16 units)").
+    pub configuration: String,
+    /// NAND2-equivalent gates per instance.
+    pub gates_per_instance: f64,
+    /// Number of instances per Tensor Core.
+    pub instances: usize,
+    /// Activity factor relative to the gate power constant (datapath vs mostly-idle logic).
+    pub activity: f64,
+}
+
+impl Component {
+    /// Total area in mm^2 per Tensor Core.
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.gates_per_instance * self.instances as f64 * GATE_AREA_MM2
+    }
+
+    /// Total power in mW per Tensor Core.
+    #[must_use]
+    pub fn power_mw(&self) -> f64 {
+        self.gates_per_instance * self.instances as f64 * GATE_POWER_MW * self.activity
+    }
+}
+
+/// The three components added per Tensor Core (32 DPEs), sized to match Table 5.
+#[must_use]
+pub fn mx_plus_components() -> Vec<Component> {
+    vec![
+        // 16 FSUs per DPE x 32 DPEs: each FSU is a handful of muxes and tri-state buffers.
+        Component {
+            name: "Forward and Swap Unit",
+            configuration: "32 x (16 units)".into(),
+            gates_per_instance: 13.0,
+            instances: 32 * 16,
+            activity: 0.25,
+        },
+        // One BM Detector per DPE: two 5-bit index comparators plus control.
+        Component {
+            name: "BM Detector",
+            configuration: "32".into(),
+            gates_per_instance: 210.0,
+            instances: 32,
+            activity: 1.18,
+        },
+        // One BM Compute Unit per DPE: two small multipliers, shifters and an adder.
+        Component {
+            name: "BM Compute Unit",
+            configuration: "32".into(),
+            gates_per_instance: 630.0,
+            instances: 32,
+            activity: 1.19,
+        },
+    ]
+}
+
+/// A Table 5 row: per-component and total area/power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaPowerReport {
+    /// Per-component entries: (name, configuration, area mm^2, power mW).
+    pub components: Vec<(String, String, f64, f64)>,
+    /// Total area per Tensor Core in mm^2.
+    pub total_area_mm2: f64,
+    /// Total power per Tensor Core in mW.
+    pub total_power_mw: f64,
+}
+
+/// Builds the Table 5 report.
+#[must_use]
+pub fn table5_report() -> AreaPowerReport {
+    let components = mx_plus_components();
+    let rows: Vec<(String, String, f64, f64)> = components
+        .iter()
+        .map(|c| (c.name.to_string(), c.configuration.clone(), c.area_mm2(), c.power_mw()))
+        .collect();
+    let total_area_mm2 = components.iter().map(Component::area_mm2).sum();
+    let total_power_mw = components.iter().map(Component::power_mw).sum();
+    AreaPowerReport { components: rows, total_area_mm2, total_power_mw }
+}
+
+/// The total area overhead relative to an (approximate) 28 nm Tensor Core area, used to
+/// argue the overhead is negligible compared with RM-STC / OliVe-style designs.
+#[must_use]
+pub fn relative_overhead(tensor_core_area_mm2: f64) -> f64 {
+    table5_report().total_area_mm2 / tensor_core_area_mm2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table_5_magnitudes() {
+        let report = table5_report();
+        // Paper: 0.020 mm^2 and 12.11 mW per Tensor Core.
+        assert!(
+            (report.total_area_mm2 - 0.020).abs() < 0.004,
+            "total area {} should be ~0.020 mm^2",
+            report.total_area_mm2
+        );
+        assert!(
+            (report.total_power_mw - 12.11).abs() < 2.5,
+            "total power {} should be ~12.1 mW",
+            report.total_power_mw
+        );
+    }
+
+    #[test]
+    fn component_ordering_matches_table_5() {
+        let report = table5_report();
+        assert_eq!(report.components.len(), 3);
+        // The BCU dominates both area and power; the FSUs are the smallest power draw.
+        let area = |name: &str| report.components.iter().find(|c| c.0 == name).unwrap().2;
+        let power = |name: &str| report.components.iter().find(|c| c.0 == name).unwrap().3;
+        assert!(area("BM Compute Unit") > area("BM Detector"));
+        assert!(area("BM Compute Unit") > area("Forward and Swap Unit"));
+        assert!(power("BM Compute Unit") > power("BM Detector"));
+        assert!(power("BM Detector") > power("Forward and Swap Unit"));
+    }
+
+    #[test]
+    fn fsu_area_is_tiny_per_unit() {
+        let components = mx_plus_components();
+        let fsu = &components[0];
+        assert!(fsu.area_mm2() / (fsu.instances as f64) < 1e-5, "each FSU is only a few gates");
+    }
+
+    #[test]
+    fn overhead_is_negligible_relative_to_a_tensor_core() {
+        // A 28 nm Tensor Core (with its operand buffers) occupies on the order of 1 mm^2;
+        // the MX+ additions are around 2% of that.
+        let rel = relative_overhead(1.0);
+        assert!(rel < 0.03, "relative overhead {rel}");
+    }
+}

@@ -1,0 +1,171 @@
+//! The conversion-before-computation path (Table 4): systems without native MX compute
+//! units dequantize MX weights to BF16 inside the matmul kernel (the Triton integration on
+//! an RTX A6000 in the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::gemm::{gemm_time, GemmConfig, GemmShape};
+use crate::gpu::{GpuSpec, OperandFormat};
+
+/// Which weight format is being dequantized inside the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConversionWeightFormat {
+    /// Plain MXFP4 weights.
+    Mxfp4,
+    /// MXFP4+ weights: the conversion kernel additionally loads the BM index and applies
+    /// Equation 2's BM branch.
+    Mxfp4Plus,
+    /// MXFP4++ weights: as MXFP4+, plus the NBM scale adjustment from the reserved bits.
+    Mxfp4PlusPlus,
+}
+
+impl ConversionWeightFormat {
+    /// Relative extra conversion work on top of the plain MXFP4 dequantization kernel,
+    /// calibrated to the Triton measurements of Table 4 (about 8% for MX+ and 10-12% for
+    /// MX++ of the conversion portion of the kernel).
+    #[must_use]
+    pub fn conversion_overhead(self) -> f64 {
+        match self {
+            ConversionWeightFormat::Mxfp4 => 0.0,
+            ConversionWeightFormat::Mxfp4Plus => 0.08,
+            ConversionWeightFormat::Mxfp4PlusPlus => 0.115,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ConversionWeightFormat::Mxfp4 => "MXFP4",
+            ConversionWeightFormat::Mxfp4Plus => "MXFP4+",
+            ConversionWeightFormat::Mxfp4PlusPlus => "MXFP4++",
+        }
+    }
+}
+
+/// Time breakdown of one conversion-path matmul.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConversionKernelTime {
+    /// Time spent dequantizing the weight tile stream to BF16.
+    pub conversion_s: f64,
+    /// Time spent in the BF16 MMAs.
+    pub mma_s: f64,
+}
+
+impl ConversionKernelTime {
+    /// Total kernel time (conversion overlaps poorly with the MMAs in the Triton kernel,
+    /// so the two add).
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.conversion_s + self.mma_s
+    }
+}
+
+/// Times a matmul with BF16 activations and MX-format weights dequantized on the fly
+/// (shape `m x k` times `k x n`).
+#[must_use]
+pub fn conversion_matmul_time(
+    gpu: &GpuSpec,
+    m: usize,
+    n: usize,
+    k: usize,
+    weight_format: ConversionWeightFormat,
+) -> ConversionKernelTime {
+    // The BF16 MMA part runs from shared memory after conversion; only its compute time
+    // matters here (the DRAM traffic is accounted for separately below, because the
+    // converted weights are never written back to DRAM).
+    let mma_compute_s = gemm_time(
+        gpu,
+        GemmShape::new(m, n, k),
+        GemmConfig {
+            activations: OperandFormat::Bf16,
+            weights: OperandFormat::Bf16,
+            mx_plus_path: crate::tensor_core::MxPlusPath::None,
+        },
+    )
+    .compute_s;
+
+    // In-kernel conversion cost: unpacking the 4-bit codes, applying the shared scale and
+    // building BF16 values costs roughly 24 CUDA-core operations per weight element
+    // (calibrated to the Triton kernels of Table 4, where conversion dominates at small M).
+    let elements = (n * k) as f64;
+    let ops_per_element = 24.0;
+    let conversion_rate = gpu.sms as f64 * 128.0 * gpu.clock_ghz * 1e9 / ops_per_element;
+    let base_conversion_s = elements / conversion_rate;
+    let conversion_s = base_conversion_s * (1.0 + weight_format.conversion_overhead());
+
+    // DRAM traffic: BF16 activations + packed MX weights (+ metadata for MX+) + FP32 output.
+    let weight_bits = match weight_format {
+        ConversionWeightFormat::Mxfp4 => 4.25,
+        ConversionWeightFormat::Mxfp4Plus | ConversionWeightFormat::Mxfp4PlusPlus => 4.5,
+    };
+    let bytes = m as f64 * k as f64 * 2.0 + elements * weight_bits / 8.0 + m as f64 * n as f64 * 4.0;
+    let memory_s = bytes / gpu.sustained_bandwidth();
+
+    // The kernel's wall time is the roofline of memory streaming versus the (serial)
+    // convert-then-MMA compute pipeline; report the conversion and MMA shares of that.
+    let compute_s = conversion_s + mma_compute_s;
+    let total_s = compute_s.max(memory_s);
+    let scale = total_s / compute_s;
+    ConversionKernelTime { conversion_s: conversion_s * scale, mma_s: mma_compute_s * scale }
+}
+
+/// One row of Table 4: the execution time of an MXFP4+/MXFP4++ weight matmul normalized to
+/// the MXFP4 weight case, for a given M (N = K = 4096).
+#[must_use]
+pub fn table4_normalized_time(gpu: &GpuSpec, m: usize, weight_format: ConversionWeightFormat) -> f64 {
+    let base = conversion_matmul_time(gpu, m, 4096, 4096, ConversionWeightFormat::Mxfp4).total_s();
+    let this = conversion_matmul_time(gpu, m, 4096, 4096, weight_format).total_s();
+    this / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_more_pronounced_for_small_activations_table_4() {
+        let gpu = GpuSpec::rtx_a6000();
+        let small = table4_normalized_time(&gpu, 8, ConversionWeightFormat::Mxfp4Plus);
+        let large = table4_normalized_time(&gpu, 4096, ConversionWeightFormat::Mxfp4Plus);
+        assert!(small > large, "small-M overhead {small} must exceed large-M overhead {large}");
+        // Paper: 1.08 at M=8, 1.01 at M=4096.
+        assert!(small > 1.02 && small < 1.12, "small-M ratio {small}");
+        assert!(large >= 1.0 && large < 1.05, "large-M ratio {large}");
+    }
+
+    #[test]
+    fn mxfp4pp_costs_slightly_more_than_mxfp4p() {
+        let gpu = GpuSpec::rtx_a6000();
+        for m in [8usize, 32, 1024, 4096] {
+            let plus = table4_normalized_time(&gpu, m, ConversionWeightFormat::Mxfp4Plus);
+            let pp = table4_normalized_time(&gpu, m, ConversionWeightFormat::Mxfp4PlusPlus);
+            assert!(pp >= plus, "MX++ must not be cheaper than MX+ at M={m}");
+            assert!(pp < plus + 0.06);
+        }
+    }
+
+    #[test]
+    fn mxfp4_normalizes_to_one() {
+        let gpu = GpuSpec::rtx_a6000();
+        for m in [8usize, 1024] {
+            assert!((table4_normalized_time(&gpu, m, ConversionWeightFormat::Mxfp4) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conversion_fraction_shrinks_with_m() {
+        let gpu = GpuSpec::rtx_a6000();
+        let small = conversion_matmul_time(&gpu, 8, 4096, 4096, ConversionWeightFormat::Mxfp4);
+        let large = conversion_matmul_time(&gpu, 4096, 4096, 4096, ConversionWeightFormat::Mxfp4);
+        let frac_small = small.conversion_s / small.total_s();
+        let frac_large = large.conversion_s / large.total_s();
+        assert!(frac_small > frac_large);
+        assert!(frac_large < 0.5, "at high reuse the BF16 MMAs dominate (paper Section 7.3)");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ConversionWeightFormat::Mxfp4Plus.name(), "MXFP4+");
+    }
+}

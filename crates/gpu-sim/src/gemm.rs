@@ -1,0 +1,258 @@
+//! GEMM kernel timing: Tensor-Core cycles combined with a DRAM roofline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::{GpuSpec, OperandFormat};
+use crate::tensor_core::{mma_counts, MxPlusPath};
+
+/// The shape of one GEMM: activations `(m x k)` times weights `(k x n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Rows of the activation operand (batch x tokens).
+    pub m: usize,
+    /// Output features.
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    #[must_use]
+    pub const fn new(m: usize, n: usize, k: usize) -> Self {
+        GemmShape { m, n, k }
+    }
+
+    /// Total multiply-accumulate operations.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// The format configuration of one GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmConfig {
+    /// Activation operand format.
+    pub activations: OperandFormat,
+    /// Weight operand format.
+    pub weights: OperandFormat,
+    /// How MX+ operands are handled (ignored when neither operand is an MX+ format).
+    pub mx_plus_path: MxPlusPath,
+}
+
+impl GemmConfig {
+    /// Both operands BF16 (the paper's performance baseline).
+    pub const BF16: GemmConfig = GemmConfig {
+        activations: OperandFormat::Bf16,
+        weights: OperandFormat::Bf16,
+        mx_plus_path: MxPlusPath::None,
+    };
+
+    /// Uniform MXFP4 for both operands.
+    pub const MXFP4: GemmConfig = GemmConfig {
+        activations: OperandFormat::Mxfp4,
+        weights: OperandFormat::Mxfp4,
+        mx_plus_path: MxPlusPath::None,
+    };
+
+    /// Uniform MXFP8.
+    pub const MXFP8: GemmConfig = GemmConfig {
+        activations: OperandFormat::Mxfp8,
+        weights: OperandFormat::Mxfp8,
+        mx_plus_path: MxPlusPath::None,
+    };
+
+    /// A-MXFP4+ with software integration: MXFP4+ activations, MXFP4 weights.
+    pub const A_MXFP4_PLUS_SW: GemmConfig = GemmConfig {
+        activations: OperandFormat::Mxfp4Plus,
+        weights: OperandFormat::Mxfp4,
+        mx_plus_path: MxPlusPath::Software,
+    };
+
+    /// MXFP4+ for both operands with hardware integration.
+    pub const MXFP4_PLUS_HW: GemmConfig = GemmConfig {
+        activations: OperandFormat::Mxfp4Plus,
+        weights: OperandFormat::Mxfp4Plus,
+        mx_plus_path: MxPlusPath::Hardware,
+    };
+
+    /// MXFP4++ for both operands with hardware integration.
+    pub const MXFP4_PP_HW: GemmConfig = GemmConfig {
+        activations: OperandFormat::Mxfp4PlusPlus,
+        weights: OperandFormat::Mxfp4PlusPlus,
+        mx_plus_path: MxPlusPath::Hardware,
+    };
+
+    /// A8W4: MXFP8 activations with MXFP4 weights.
+    pub const A8W4: GemmConfig = GemmConfig {
+        activations: OperandFormat::Mxfp8,
+        weights: OperandFormat::Mxfp4,
+        mx_plus_path: MxPlusPath::None,
+    };
+
+    /// The effective MX+ path: `None` when neither operand is an MX+ format.
+    #[must_use]
+    pub fn effective_path(&self) -> MxPlusPath {
+        if self.activations.is_plus() || self.weights.is_plus() {
+            self.mx_plus_path
+        } else {
+            MxPlusPath::None
+        }
+    }
+
+    /// The slower of the two operands' throughput classes governs the MMA rate
+    /// (mixed-precision MMAs run at the wider operand's rate).
+    #[must_use]
+    pub fn throughput_class(&self) -> crate::gpu::ThroughputClass {
+        use crate::gpu::ThroughputClass as T;
+        let a = self.activations.throughput_class();
+        let w = self.weights.throughput_class();
+        match (a, w) {
+            (T::Bf16, _) | (_, T::Bf16) => T::Bf16,
+            (T::Fp8, _) | (_, T::Fp8) => T::Fp8,
+            _ => T::Fp4,
+        }
+    }
+
+    /// Display name like "A-MXFP4+, W-MXFP4".
+    #[must_use]
+    pub fn name(&self) -> String {
+        if self.activations == self.weights {
+            self.activations.name().to_string()
+        } else {
+            format!("A-{}, W-{}", self.activations.name(), self.weights.name())
+        }
+    }
+}
+
+/// The timing breakdown of one GEMM kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelTime {
+    /// Tensor-Core busy time in seconds.
+    pub compute_s: f64,
+    /// DRAM streaming time in seconds.
+    pub memory_s: f64,
+}
+
+impl KernelTime {
+    /// The kernel's wall time: the roofline maximum of compute and memory.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.compute_s.max(self.memory_s)
+    }
+
+    /// Whether the kernel is memory-bound.
+    #[must_use]
+    pub fn memory_bound(&self) -> bool {
+        self.memory_s >= self.compute_s
+    }
+}
+
+/// Estimates the execution time of one GEMM on a GPU with native MX support.
+#[must_use]
+pub fn gemm_time(gpu: &GpuSpec, shape: GemmShape, config: GemmConfig) -> KernelTime {
+    // Compute side: MMA cycles spread over all Tensor Cores (with a utilization factor).
+    let counts = mma_counts(shape.m, shape.n, shape.k, config.effective_path());
+    let cycles = counts.cycles(gpu, config.throughput_class());
+    let parallel_cycles = cycles / (gpu.total_tensor_cores() as f64 * gpu.compute_efficiency);
+    let compute_s = parallel_cycles / (gpu.clock_ghz * 1e9);
+
+    // Memory side: stream A once, B once, write C in FP32 (decode GEMMs re-read B for
+    // every token, which is captured by calling this per GEMM).
+    let a_bytes = shape.m as f64 * shape.k as f64 * config.activations.bits_per_element() / 8.0;
+    let b_bytes = shape.k as f64 * shape.n as f64 * config.weights.bits_per_element() / 8.0;
+    let c_bytes = shape.m as f64 * shape.n as f64 * 4.0;
+    let memory_s = (a_bytes + b_bytes + c_bytes) / gpu.sustained_bandwidth();
+
+    KernelTime { compute_s, memory_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GPU: fn() -> GpuSpec = GpuSpec::rtx5090;
+
+    #[test]
+    fn decode_gemms_are_memory_bound_and_prefill_gemms_compute_bound() {
+        let gpu = GPU();
+        // Decode: M = 4 concurrent requests, large weight matrix.
+        let decode = gemm_time(&gpu, GemmShape::new(4, 5120, 5120), GemmConfig::MXFP4);
+        assert!(decode.memory_bound(), "decode GEMMs must be memory bound");
+        // Prefill: M = 4096 tokens.
+        let prefill = gemm_time(&gpu, GemmShape::new(4096, 5120, 5120), GemmConfig::MXFP4);
+        assert!(!prefill.memory_bound(), "prefill GEMMs must be compute bound");
+    }
+
+    #[test]
+    fn mxfp4_is_faster_than_mxfp8_and_bf16() {
+        let gpu = GPU();
+        let shape = GemmShape::new(4096, 5120, 5120);
+        let t4 = gemm_time(&gpu, shape, GemmConfig::MXFP4).total_s();
+        let t8 = gemm_time(&gpu, shape, GemmConfig::MXFP8).total_s();
+        let t16 = gemm_time(&gpu, shape, GemmConfig::BF16).total_s();
+        assert!(t4 < t8 && t8 < t16);
+        assert!((t8 / t4 - 2.0).abs() < 0.2, "FP8 should be about half the FP4 rate");
+    }
+
+    #[test]
+    fn software_mx_plus_overhead_is_small_in_decode_and_visible_in_prefill() {
+        let gpu = GPU();
+        // Decode (memory-bound): the extra sparse MMA hides behind the weight streaming.
+        let decode_mx = gemm_time(&gpu, GemmShape::new(4, 5120, 5120), GemmConfig::MXFP4).total_s();
+        let decode_plus = gemm_time(&gpu, GemmShape::new(4, 5120, 5120), GemmConfig::A_MXFP4_PLUS_SW).total_s();
+        let decode_overhead = decode_plus / decode_mx;
+        assert!(decode_overhead < 1.10, "decode overhead {decode_overhead} should be under 10%");
+
+        // Prefill (compute-bound): the extra MMA shows up (the paper reports ~1.54x).
+        let prefill_mx = gemm_time(&gpu, GemmShape::new(4096, 5120, 5120), GemmConfig::MXFP4).total_s();
+        let prefill_plus = gemm_time(&gpu, GemmShape::new(4096, 5120, 5120), GemmConfig::A_MXFP4_PLUS_SW).total_s();
+        let prefill_overhead = prefill_plus / prefill_mx;
+        assert!(
+            prefill_overhead > 1.15 && prefill_overhead < 1.6,
+            "prefill overhead {prefill_overhead} should be noticeable"
+        );
+    }
+
+    #[test]
+    fn hardware_mx_plus_is_nearly_free() {
+        let gpu = GPU();
+        // Compute-bound (prefill-like) shapes: the BCU adds well under 1% (Figure 12).
+        for m in [2048usize, 4096] {
+            let shape = GemmShape::new(m, 5120, 5120);
+            let mx = gemm_time(&gpu, shape, GemmConfig::MXFP4).total_s();
+            let hw = gemm_time(&gpu, shape, GemmConfig::MXFP4_PLUS_HW).total_s();
+            let ratio = hw / mx;
+            assert!(ratio < 1.01, "hardware MX+ ratio {ratio} at m={m}");
+        }
+        // Memory-bound (decode-like) shapes: the only cost is the extra metadata byte per
+        // block (4.5 vs 4.25 bits/element), i.e. at most ~6% more weight traffic.
+        let shape = GemmShape::new(4, 5120, 5120);
+        let mx = gemm_time(&gpu, shape, GemmConfig::MXFP4).total_s();
+        let hw = gemm_time(&gpu, shape, GemmConfig::MXFP4_PLUS_HW).total_s();
+        let ratio = hw / mx;
+        assert!(ratio < 1.07, "memory-bound hardware MX+ ratio {ratio}");
+    }
+
+    #[test]
+    fn a8w4_sits_between_mxfp4_and_mxfp8() {
+        let gpu = GPU();
+        let shape = GemmShape::new(4, 5120, 5120);
+        let t4 = gemm_time(&gpu, shape, GemmConfig::MXFP4).total_s();
+        let t84 = gemm_time(&gpu, shape, GemmConfig::A8W4).total_s();
+        let t8 = gemm_time(&gpu, shape, GemmConfig::MXFP8).total_s();
+        assert!(t4 <= t84 && t84 <= t8);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(GemmConfig::MXFP4.name(), "MXFP4");
+        assert_eq!(GemmConfig::A_MXFP4_PLUS_SW.name(), "A-MXFP4+, W-MXFP4");
+    }
+
+    #[test]
+    fn macs_accounting() {
+        assert_eq!(GemmShape::new(2, 3, 4).macs(), 24);
+    }
+}

@@ -1,0 +1,194 @@
+//! GPU specifications and operand-format descriptions used by the performance model.
+
+use serde::{Deserialize, Serialize};
+
+/// How a matmul operand is stored and fed to the compute units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandFormat {
+    /// BF16 (16 bits/element), computed on the BF16 Tensor-Core pipe.
+    Bf16,
+    /// MXFP8 (E4M3 elements, 8.25 bits/element average).
+    Mxfp8,
+    /// MXFP6 (6.25 bits/element average); same Tensor-Core throughput as FP8.
+    Mxfp6,
+    /// MXFP4 (4.25 bits/element average).
+    Mxfp4,
+    /// MXFP4+ (4.5 bits/element average): same element width as MXFP4 plus the per-block
+    /// metadata byte.
+    Mxfp4Plus,
+    /// MXFP4++ (4.5 bits/element average).
+    Mxfp4PlusPlus,
+}
+
+impl OperandFormat {
+    /// Average storage bits per element, including shared scales and MX+ metadata.
+    #[must_use]
+    pub fn bits_per_element(self) -> f64 {
+        match self {
+            OperandFormat::Bf16 => 16.0,
+            OperandFormat::Mxfp8 => 8.25,
+            OperandFormat::Mxfp6 => 6.25,
+            OperandFormat::Mxfp4 => 4.25,
+            OperandFormat::Mxfp4Plus | OperandFormat::Mxfp4PlusPlus => 4.5,
+        }
+    }
+
+    /// Whether the format carries the MX+ extension (BM index metadata).
+    #[must_use]
+    pub fn is_plus(self) -> bool {
+        matches!(self, OperandFormat::Mxfp4Plus | OperandFormat::Mxfp4PlusPlus)
+    }
+
+    /// The Tensor-Core throughput class of the format: FP4 runs at full rate, FP6/FP8 at
+    /// half rate, BF16 at a quarter of the FP4 rate (RTX 5090 / Blackwell ratios).
+    #[must_use]
+    pub fn throughput_class(self) -> ThroughputClass {
+        match self {
+            OperandFormat::Bf16 => ThroughputClass::Bf16,
+            OperandFormat::Mxfp8 | OperandFormat::Mxfp6 => ThroughputClass::Fp8,
+            OperandFormat::Mxfp4 | OperandFormat::Mxfp4Plus | OperandFormat::Mxfp4PlusPlus => ThroughputClass::Fp4,
+        }
+    }
+
+    /// Paper-style display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OperandFormat::Bf16 => "BF16",
+            OperandFormat::Mxfp8 => "MXFP8",
+            OperandFormat::Mxfp6 => "MXFP6",
+            OperandFormat::Mxfp4 => "MXFP4",
+            OperandFormat::Mxfp4Plus => "MXFP4+",
+            OperandFormat::Mxfp4PlusPlus => "MXFP4++",
+        }
+    }
+}
+
+/// Tensor-Core pipe classes with different sustained MMA rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThroughputClass {
+    /// FP4 block-scaled MMA (fastest).
+    Fp4,
+    /// FP8/FP6 block-scaled MMA (half the FP4 rate).
+    Fp8,
+    /// BF16 MMA (a quarter of the FP4 rate).
+    Bf16,
+}
+
+/// A GPU specification: enough to drive the roofline and Tensor-Core models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Number of streaming multiprocessors.
+    pub sms: usize,
+    /// Tensor Cores per SM.
+    pub tensor_cores_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// Cycles one Tensor Core needs to complete one FP4 `mma.m16n8k64` (16 on RTX 5090).
+    pub fp4_mma_cycles: f64,
+    /// Fraction of peak the memory system sustains for streaming GEMM traffic.
+    pub memory_efficiency: f64,
+    /// Fraction of peak the Tensor-Core pipeline sustains for large GEMMs.
+    pub compute_efficiency: f64,
+}
+
+impl GpuSpec {
+    /// An RTX 5090-like configuration (the paper's hardware-support evaluation platform).
+    #[must_use]
+    pub fn rtx5090() -> Self {
+        GpuSpec {
+            sms: 170,
+            tensor_cores_per_sm: 4,
+            clock_ghz: 2.4,
+            dram_bandwidth_gbps: 1792.0,
+            fp4_mma_cycles: 16.0,
+            memory_efficiency: 0.8,
+            compute_efficiency: 0.7,
+        }
+    }
+
+    /// An RTX A6000-like configuration (no native MX support; the Table 4 conversion-path
+    /// platform). Tensor cores only run BF16 MMAs here.
+    #[must_use]
+    pub fn rtx_a6000() -> Self {
+        GpuSpec {
+            sms: 84,
+            tensor_cores_per_sm: 4,
+            clock_ghz: 1.8,
+            dram_bandwidth_gbps: 768.0,
+            fp4_mma_cycles: 32.0,
+            memory_efficiency: 0.75,
+            compute_efficiency: 0.65,
+        }
+    }
+
+    /// Total Tensor Cores on the device.
+    #[must_use]
+    pub fn total_tensor_cores(&self) -> usize {
+        self.sms * self.tensor_cores_per_sm
+    }
+
+    /// Peak multiply-accumulate operations per second for one throughput class.
+    ///
+    /// One FP4 `mma.m16n8k64` performs 16x8x64 MACs per Tensor Core per `fp4_mma_cycles`.
+    #[must_use]
+    pub fn peak_macs_per_sec(&self, class: ThroughputClass) -> f64 {
+        let macs_per_mma = 16.0 * 8.0 * 64.0;
+        let per_core = macs_per_mma / self.fp4_mma_cycles * self.clock_ghz * 1e9;
+        let class_factor = match class {
+            ThroughputClass::Fp4 => 1.0,
+            ThroughputClass::Fp8 => 0.5,
+            ThroughputClass::Bf16 => 0.25,
+        };
+        per_core * class_factor * self.total_tensor_cores() as f64
+    }
+
+    /// Sustained DRAM bandwidth in bytes per second.
+    #[must_use]
+    pub fn sustained_bandwidth(&self) -> f64 {
+        self.dram_bandwidth_gbps * 1e9 * self.memory_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_bit_widths() {
+        assert_eq!(OperandFormat::Mxfp4.bits_per_element(), 4.25);
+        assert_eq!(OperandFormat::Mxfp4Plus.bits_per_element(), 4.5);
+        assert_eq!(OperandFormat::Mxfp8.bits_per_element(), 8.25);
+        assert!(OperandFormat::Mxfp4Plus.is_plus());
+        assert!(!OperandFormat::Mxfp4.is_plus());
+    }
+
+    #[test]
+    fn throughput_classes() {
+        assert_eq!(OperandFormat::Mxfp4.throughput_class(), ThroughputClass::Fp4);
+        assert_eq!(OperandFormat::Mxfp6.throughput_class(), ThroughputClass::Fp8);
+        assert_eq!(OperandFormat::Bf16.throughput_class(), ThroughputClass::Bf16);
+    }
+
+    #[test]
+    fn rtx5090_peak_rates_are_ordered() {
+        let gpu = GpuSpec::rtx5090();
+        let fp4 = gpu.peak_macs_per_sec(ThroughputClass::Fp4);
+        let fp8 = gpu.peak_macs_per_sec(ThroughputClass::Fp8);
+        let bf16 = gpu.peak_macs_per_sec(ThroughputClass::Bf16);
+        assert!(fp4 > fp8 && fp8 > bf16);
+        assert!((fp4 / fp8 - 2.0).abs() < 1e-9);
+        assert!((fp4 / bf16 - 4.0).abs() < 1e-9);
+        // Peak FP4 rate should be in the hundreds of TFLOPS-equivalent MACs.
+        assert!(fp4 > 1e14 && fp4 < 1e16);
+    }
+
+    #[test]
+    fn bandwidth_accounting() {
+        let gpu = GpuSpec::rtx5090();
+        assert!((gpu.sustained_bandwidth() - 1792.0e9 * 0.8).abs() < 1.0);
+        assert!(GpuSpec::rtx_a6000().sustained_bandwidth() < gpu.sustained_bandwidth());
+    }
+}

@@ -1,0 +1,302 @@
+//! End-to-end LLM inference timing (Figures 11, 12 and the performance half of Figure 13).
+//!
+//! The model enumerates the linear-layer GEMMs of a decoder-only transformer, times each
+//! with the roofline GEMM model, and aggregates them into prefill and decode stage times —
+//! the paper's "execution time" metric (aggregated matrix-multiplication time in vLLM).
+
+use serde::{Deserialize, Serialize};
+
+use crate::gemm::{gemm_time, GemmConfig, GemmShape};
+use crate::gpu::GpuSpec;
+
+/// Transformer dimensions used by the performance model (full-size, not the scaled-down
+/// quality substrate: the analytic model has no trouble with real shapes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfModelConfig {
+    /// Model name.
+    pub name: String,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Number of layers.
+    pub layers: usize,
+    /// Key/value projection width (grouped-query attention).
+    pub kv_dim: usize,
+    /// MLP intermediate dimension.
+    pub intermediate: usize,
+    /// Whether the MLP is gated (three projections) or plain (two).
+    pub gated_mlp: bool,
+    /// Vocabulary size (for the LM head GEMM).
+    pub vocab: usize,
+}
+
+impl PerfModelConfig {
+    /// Llama-2-7B dimensions.
+    #[must_use]
+    pub fn llama2_7b() -> Self {
+        PerfModelConfig {
+            name: "Llama-2-7B".into(),
+            hidden: 4096,
+            layers: 32,
+            kv_dim: 4096,
+            intermediate: 11008,
+            gated_mlp: true,
+            vocab: 32000,
+        }
+    }
+
+    /// Llama-2-13B dimensions (the paper's main performance model).
+    #[must_use]
+    pub fn llama2_13b() -> Self {
+        PerfModelConfig {
+            name: "Llama-2-13B".into(),
+            hidden: 5120,
+            layers: 40,
+            kv_dim: 5120,
+            intermediate: 13824,
+            gated_mlp: true,
+            vocab: 32000,
+        }
+    }
+
+    /// Llama-3.1-8B dimensions.
+    #[must_use]
+    pub fn llama31_8b() -> Self {
+        PerfModelConfig {
+            name: "Llama-3.1-8B".into(),
+            hidden: 4096,
+            layers: 32,
+            kv_dim: 1024,
+            intermediate: 14336,
+            gated_mlp: true,
+            vocab: 128_256,
+        }
+    }
+
+    /// The per-layer linear GEMM output widths (q, k, v, o, and the MLP projections).
+    #[must_use]
+    pub fn layer_gemms(&self) -> Vec<(usize, usize)> {
+        // (n, k) pairs: output width and reduction width.
+        let mut gemms = vec![
+            (self.hidden, self.hidden),  // Wq
+            (self.kv_dim, self.hidden),  // Wk
+            (self.kv_dim, self.hidden),  // Wv
+            (self.hidden, self.hidden),  // Wo
+        ];
+        if self.gated_mlp {
+            gemms.push((self.intermediate, self.hidden)); // gate
+            gemms.push((self.intermediate, self.hidden)); // up
+            gemms.push((self.hidden, self.intermediate)); // down
+        } else {
+            gemms.push((self.intermediate, self.hidden));
+            gemms.push((self.hidden, self.intermediate));
+        }
+        gemms
+    }
+
+    /// Total weight parameters in the linear layers (plus LM head).
+    #[must_use]
+    pub fn linear_parameters(&self) -> u64 {
+        let per_layer: u64 = self.layer_gemms().iter().map(|&(n, k)| (n * k) as u64).sum();
+        per_layer * self.layers as u64 + (self.hidden * self.vocab) as u64
+    }
+}
+
+/// An inference workload: concurrent requests with fixed input/output lengths
+/// (the paper uses 4 requests x 1024 input tokens x {8, 64, ...} output tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceWorkload {
+    /// Number of concurrent requests (batch size).
+    pub requests: usize,
+    /// Prompt length per request.
+    pub input_tokens: usize,
+    /// Generated tokens per request.
+    pub output_tokens: usize,
+}
+
+impl InferenceWorkload {
+    /// The paper's Figure 11/13 workload: 4 requests x 1024 input tokens.
+    #[must_use]
+    pub const fn paper_default(output_tokens: usize) -> Self {
+        InferenceWorkload { requests: 4, input_tokens: 1024, output_tokens }
+    }
+}
+
+/// Prefill/decode stage times in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTime {
+    /// Prefill (prompt processing) time.
+    pub prefill_s: f64,
+    /// Decode (token generation) time.
+    pub decode_s: f64,
+}
+
+impl StageTime {
+    /// Total execution time.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.prefill_s + self.decode_s
+    }
+
+    /// Fraction of the execution time spent in prefill.
+    #[must_use]
+    pub fn prefill_fraction(&self) -> f64 {
+        if self.total_s() == 0.0 {
+            0.0
+        } else {
+            self.prefill_s / self.total_s()
+        }
+    }
+}
+
+/// The end-to-end inference performance model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceModel {
+    /// GPU specification.
+    pub gpu: GpuSpec,
+    /// Transformer dimensions.
+    pub model: PerfModelConfig,
+}
+
+impl InferenceModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new(gpu: GpuSpec, model: PerfModelConfig) -> Self {
+        InferenceModel { gpu, model }
+    }
+
+    /// Times one forward pass over `m` rows (tokens x requests) with the given format.
+    fn pass_time(&self, m: usize, config: GemmConfig, include_lm_head: bool) -> f64 {
+        let mut total = 0.0;
+        for &(n, k) in &self.model.layer_gemms() {
+            total += gemm_time(&self.gpu, GemmShape::new(m, n, k), config).total_s();
+        }
+        total *= self.model.layers as f64;
+        if include_lm_head {
+            total += gemm_time(&self.gpu, GemmShape::new(m, self.model.vocab, self.model.hidden), config).total_s();
+        }
+        total
+    }
+
+    /// Prefill and decode execution times for a workload under a format configuration.
+    #[must_use]
+    pub fn stage_times(&self, workload: InferenceWorkload, config: GemmConfig) -> StageTime {
+        let prefill_rows = workload.requests * workload.input_tokens;
+        let prefill_s = self.pass_time(prefill_rows, config, true);
+        // Decode: one pass per generated token with m = batch size; weights are re-read
+        // from DRAM every step, which is what makes decode memory-bound.
+        let per_step = self.pass_time(workload.requests, config, true);
+        StageTime { prefill_s, decode_s: per_step * workload.output_tokens as f64 }
+    }
+
+    /// Speedup of a configuration over the BF16 baseline for the same workload.
+    #[must_use]
+    pub fn speedup_over_bf16(&self, workload: InferenceWorkload, config: GemmConfig) -> f64 {
+        let baseline = self.stage_times(workload, GemmConfig::BF16).total_s();
+        baseline / self.stage_times(workload, config).total_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> InferenceModel {
+        InferenceModel::new(GpuSpec::rtx5090(), PerfModelConfig::llama2_13b())
+    }
+
+    #[test]
+    fn decode_dominates_with_64_output_tokens_figure_11a() {
+        // Figure 11(a): with 64 output tokens, decode dominates (prefill is ~18.78% of the
+        // A-MXFP4+ execution time in the paper).
+        let times = model().stage_times(InferenceWorkload::paper_default(64), GemmConfig::A_MXFP4_PLUS_SW);
+        let frac = times.prefill_fraction();
+        assert!(frac > 0.08 && frac < 0.40, "prefill fraction {frac}");
+        assert!(times.decode_s > times.prefill_s);
+    }
+
+    #[test]
+    fn a_mxfp4_plus_close_to_mxfp4_and_mxfp8_much_slower_figure_11() {
+        let m = model();
+        let w = InferenceWorkload::paper_default(64);
+        let mxfp4 = m.stage_times(w, GemmConfig::MXFP4);
+        let plus = m.stage_times(w, GemmConfig::A_MXFP4_PLUS_SW);
+        let mxfp8 = m.stage_times(w, GemmConfig::MXFP8);
+
+        // Decode overhead of the software integration is small (paper: 6.71%).
+        let decode_overhead = plus.decode_s / mxfp4.decode_s;
+        assert!(decode_overhead < 1.12, "decode overhead {decode_overhead}");
+        // Prefill overhead is moderate (paper: 1.54x).
+        let prefill_overhead = plus.prefill_s / mxfp4.prefill_s;
+        assert!(prefill_overhead > 1.1 && prefill_overhead < 1.7, "prefill overhead {prefill_overhead}");
+        // MXFP8 is much slower than MXFP4 end to end (paper: up to 1.85x).
+        let fp8_slowdown = mxfp8.total_s() / mxfp4.total_s();
+        assert!(fp8_slowdown > 1.5, "MXFP8 slowdown {fp8_slowdown}");
+        // Overall, A-MXFP4+ stays close to MXFP4 (paper: <= 1.13x).
+        let overall = plus.total_s() / mxfp4.total_s();
+        assert!(overall < 1.25, "overall A-MXFP4+ slowdown {overall}");
+    }
+
+    #[test]
+    fn gap_narrows_as_output_length_grows_figure_11b() {
+        let m = model();
+        let ratio = |out: usize| {
+            let w = InferenceWorkload::paper_default(out);
+            m.stage_times(w, GemmConfig::A_MXFP4_PLUS_SW).total_s() / m.stage_times(w, GemmConfig::MXFP4).total_s()
+        };
+        let r32 = ratio(32);
+        let r256 = ratio(256);
+        assert!(r256 < r32, "longer outputs must shrink the A-MXFP4+ gap: {r32} -> {r256}");
+        assert!(r256 < 1.10);
+    }
+
+    #[test]
+    fn hardware_integration_is_within_a_percent_figure_12() {
+        // Figure 12: prefill-only workload with 2048 input tokens, MXFP4+ vs MXFP4 with
+        // hardware support: ~0.38% average slowdown.
+        for cfg in [PerfModelConfig::llama2_7b(), PerfModelConfig::llama2_13b(), PerfModelConfig::llama31_8b()] {
+            let m = InferenceModel::new(GpuSpec::rtx5090(), cfg);
+            let w = InferenceWorkload { requests: 1, input_tokens: 2048, output_tokens: 0 };
+            let mx = m.stage_times(w, GemmConfig::MXFP4).prefill_s;
+            let hw = m.stage_times(w, GemmConfig::MXFP4_PLUS_HW).prefill_s;
+            let ratio = hw / mx;
+            assert!(ratio >= 1.0 && ratio < 1.01, "{}: hardware ratio {ratio}", m.model.name);
+        }
+    }
+
+    #[test]
+    fn speedups_over_bf16_match_figure_13_shape() {
+        let m = model();
+        // Prefill-dominant scenario (8 output tokens).
+        let w8 = InferenceWorkload::paper_default(8);
+        let s_mxfp4_8 = m.speedup_over_bf16(w8, GemmConfig::MXFP4);
+        let s_hw_8 = m.speedup_over_bf16(w8, GemmConfig::MXFP4_PLUS_HW);
+        assert!(s_mxfp4_8 > 2.0 && s_mxfp4_8 < 5.0, "prefill-dominant MXFP4 speedup {s_mxfp4_8}");
+        assert!(s_hw_8 > 0.95 * s_mxfp4_8, "hardware MX+ must match MXFP4 speedup");
+
+        // Decode-dominant scenario (64 output tokens): speedups are lower (memory-bound)
+        // but still well above 1 thanks to the bandwidth savings.
+        let w64 = InferenceWorkload::paper_default(64);
+        let s_mxfp4_64 = m.speedup_over_bf16(w64, GemmConfig::MXFP4);
+        assert!(s_mxfp4_64 > 1.8 && s_mxfp4_64 < s_mxfp4_8);
+        let s_sw_64 = m.speedup_over_bf16(w64, GemmConfig::A_MXFP4_PLUS_SW);
+        assert!(s_sw_64 > 0.85 * s_mxfp4_64, "software A-MXFP4+ speedup {s_sw_64} vs {s_mxfp4_64}");
+        // A8W4 is slower than MXFP4 (the paper notes it remains close to MXFP8).
+        let s_a8w4 = m.speedup_over_bf16(w64, GemmConfig::A8W4);
+        assert!(s_a8w4 < s_mxfp4_64);
+    }
+
+    #[test]
+    fn model_presets_have_sane_parameter_counts() {
+        assert!(PerfModelConfig::llama2_7b().linear_parameters() > 6_000_000_000);
+        assert!(PerfModelConfig::llama2_13b().linear_parameters() > 12_000_000_000);
+        let gemms = PerfModelConfig::llama2_13b().layer_gemms();
+        assert_eq!(gemms.len(), 7);
+    }
+
+    #[test]
+    fn stage_time_helpers() {
+        let t = StageTime { prefill_s: 1.0, decode_s: 3.0 };
+        assert_eq!(t.total_s(), 4.0);
+        assert_eq!(t.prefill_fraction(), 0.25);
+    }
+}

@@ -1,0 +1,27 @@
+//! # mx-gpu-sim
+//!
+//! A GPU performance substrate for the MX+ paper's system experiments: a Tensor-Core
+//! instruction/throughput model, a bandwidth roofline, GEMM and end-to-end LLM inference
+//! timing, the software MX+ integration cost (extra sparse MMA, Algorithm 1), the
+//! Triton-style convert-to-BF16 path (Table 4), the hardware MX+ integration
+//! (BM Detector / Forward-and-Swap Units / BM Compute Unit, Figure 9) with its area and
+//! power accounting (Table 5), and the quantization-time model (Table 6).
+//!
+//! The model is cycle-approximate and analytic: it reproduces the *relative* performance
+//! the paper reports (who is faster, by what factor, and where the prefill/decode
+//! crossovers fall), not absolute milliseconds of the authors' RTX 5090 testbed.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod areapower;
+pub mod conversion;
+pub mod gemm;
+pub mod gpu;
+pub mod inference;
+pub mod quantcost;
+pub mod tensor_core;
+
+pub use gemm::{GemmShape, KernelTime};
+pub use gpu::{GpuSpec, OperandFormat};
+pub use inference::{InferenceModel, InferenceWorkload, StageTime};

@@ -1,0 +1,114 @@
+//! Quantization-time model (Table 6): the cost of converting BF16 activations into MXFP4,
+//! MXFP4+ or MXFP4++ at runtime, across input token counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::GpuSpec;
+
+/// The activation quantization scheme being timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantKernel {
+    /// Plain MXFP4 conversion: one max-reduction pass plus one encode pass per block.
+    Mxfp4,
+    /// MXFP4+: as MXFP4 plus recording the BM index per block (the BM is already known
+    /// from the max reduction, so the extra work is one store per block).
+    Mxfp4Plus,
+    /// MXFP4++: as MXFP4+ plus a second-maximum reduction for the decoupled NBM scale.
+    Mxfp4PlusPlus,
+}
+
+impl QuantKernel {
+    /// Per-element work relative to the MXFP4 kernel's per-element work.
+    #[must_use]
+    pub fn per_element_work(self) -> f64 {
+        match self {
+            QuantKernel::Mxfp4 => 1.0,
+            // One extra index store per 32 elements.
+            QuantKernel::Mxfp4Plus => 1.05,
+            // A second max reduction adds roughly one more comparison per element.
+            QuantKernel::Mxfp4PlusPlus => 1.16,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantKernel::Mxfp4 => "MXFP4",
+            QuantKernel::Mxfp4Plus => "MXFP4+",
+            QuantKernel::Mxfp4PlusPlus => "MXFP4++",
+        }
+    }
+}
+
+/// Time to quantize the activations of one transformer forward pass over `tokens` tokens
+/// of width `hidden`, including a fixed kernel-launch overhead that dominates at small
+/// token counts (which is why Table 6's ratios start at 1.00 and grow with tokens).
+#[must_use]
+pub fn quantization_time_s(gpu: &GpuSpec, tokens: usize, hidden: usize, kernel: QuantKernel) -> f64 {
+    let elements = (tokens * hidden) as f64;
+    // CUDA-core throughput for the element-wise conversion work: the max reduction,
+    // scale computation, division and rounding amount to roughly 40 operations/element.
+    let ops_per_element = 40.0;
+    let rate = gpu.sms as f64 * 128.0 * gpu.clock_ghz * 1e9 / ops_per_element;
+    let per_element_s = elements * kernel.per_element_work() / rate;
+    // Kernel launch and reduction-setup overhead per call.
+    let fixed_s = 2.0e-6;
+    fixed_s + per_element_s
+}
+
+/// One row of Table 6: total quantization time normalized to MXFP4 at the same token count.
+#[must_use]
+pub fn table6_normalized_time(gpu: &GpuSpec, tokens: usize, kernel: QuantKernel) -> f64 {
+    let hidden = 5120; // Llama-2-13B hidden width
+    quantization_time_s(gpu, tokens, hidden, kernel) / quantization_time_s(gpu, tokens, hidden, QuantKernel::Mxfp4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_grow_with_token_count_table_6() {
+        let gpu = GpuSpec::rtx5090();
+        let plus_32 = table6_normalized_time(&gpu, 32, QuantKernel::Mxfp4Plus);
+        let plus_2048 = table6_normalized_time(&gpu, 2048, QuantKernel::Mxfp4Plus);
+        assert!(plus_32 < plus_2048);
+        // Paper: 1.00 at 32 tokens, 1.05 at 2048 tokens.
+        assert!(plus_32 < 1.03, "32-token ratio {plus_32}");
+        assert!(plus_2048 > 1.03 && plus_2048 < 1.08, "2048-token ratio {plus_2048}");
+    }
+
+    #[test]
+    fn mxfp4pp_ratio_is_larger_table_6() {
+        let gpu = GpuSpec::rtx5090();
+        for tokens in [32usize, 128, 512, 1024, 2048] {
+            let plus = table6_normalized_time(&gpu, tokens, QuantKernel::Mxfp4Plus);
+            let pp = table6_normalized_time(&gpu, tokens, QuantKernel::Mxfp4PlusPlus);
+            assert!(pp > plus, "tokens {tokens}");
+        }
+        let pp_2048 = table6_normalized_time(&gpu, 2048, QuantKernel::Mxfp4PlusPlus);
+        assert!(pp_2048 > 1.10 && pp_2048 < 1.20, "2048-token MX++ ratio {pp_2048}");
+    }
+
+    #[test]
+    fn quantization_time_is_a_small_fraction_of_inference() {
+        // Section 7.4: quantization accounts for only a small portion of inference time.
+        let gpu = GpuSpec::rtx5090();
+        let quant = quantization_time_s(&gpu, 4096, 5120, QuantKernel::Mxfp4Plus);
+        let model = crate::inference::InferenceModel::new(gpu, crate::inference::PerfModelConfig::llama2_13b());
+        let prefill = model
+            .stage_times(
+                crate::inference::InferenceWorkload { requests: 4, input_tokens: 1024, output_tokens: 0 },
+                crate::gemm::GemmConfig::MXFP4,
+            )
+            .prefill_s;
+        assert!(quant < prefill * 0.05, "quantization {quant} vs prefill {prefill}");
+    }
+
+    #[test]
+    fn normalization_is_exactly_one_for_mxfp4() {
+        let gpu = GpuSpec::rtx5090();
+        assert_eq!(table6_normalized_time(&gpu, 512, QuantKernel::Mxfp4), 1.0);
+    }
+}

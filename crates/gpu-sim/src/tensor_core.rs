@@ -1,0 +1,235 @@
+//! Tensor-Core instruction model: MMA tile shapes, fragment layout and the extra work the
+//! software MX+ integration adds (Section 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::{GpuSpec, ThroughputClass};
+
+#[cfg(test)]
+use crate::gpu::OperandFormat;
+
+/// The block-scaled MMA tile shape the model is built around
+/// (`mma.m16n8k64.block_scale` for FP4; FP8/FP6 use k=32 at half rate, which the model
+/// folds into the throughput class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmaTile {
+    /// Rows of the A/D tiles.
+    pub m: usize,
+    /// Columns of the B/D tiles.
+    pub n: usize,
+    /// Reduction depth of one MMA.
+    pub k: usize,
+}
+
+impl MmaTile {
+    /// The FP4 block-scaled MMA tile (16x8x64).
+    pub const FP4: MmaTile = MmaTile { m: 16, n: 8, k: 64 };
+
+    /// MAC operations performed by one MMA of this tile.
+    #[must_use]
+    pub fn macs(&self) -> usize {
+        self.m * self.n * self.k
+    }
+}
+
+/// How MX+ operands are handled by the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MxPlusPath {
+    /// Plain MX operands: no extra work.
+    None,
+    /// Software integration (Section 5.2): one additional *sparse* MMA per two dense MMAs
+    /// along the k dimension (Algorithm 1 issues `mma.sp.m16n8k128` once per k=128 slice),
+    /// plus the ReplaceBM / MakeFragment register work.
+    Software,
+    /// Hardware integration (Section 6): the BM Compute Unit runs off the critical path;
+    /// only the extra register-file access and BCU-accumulate latency remain.
+    Hardware,
+}
+
+/// Counts of Tensor-Core work for one GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MmaCounts {
+    /// Dense block-scaled MMAs.
+    pub dense_mmas: u64,
+    /// Additional sparse MMAs issued for BM_H (software MX+ path only).
+    pub sparse_mmas: u64,
+    /// Extra per-MMA overhead cycles (fragment fix-up, extra register reads), already
+    /// aggregated over all MMAs.
+    pub overhead_cycles: f64,
+}
+
+impl MmaCounts {
+    /// Total Tensor-Core cycles for these counts on the given GPU, accounting for the
+    /// format's throughput class (sparse MMAs run at twice the dense rate).
+    #[must_use]
+    pub fn cycles(&self, gpu: &GpuSpec, class: ThroughputClass) -> f64 {
+        let per_dense = gpu.fp4_mma_cycles
+            * match class {
+                ThroughputClass::Fp4 => 1.0,
+                ThroughputClass::Fp8 => 2.0,
+                ThroughputClass::Bf16 => 4.0,
+            };
+        let per_sparse = per_dense / 2.0;
+        self.dense_mmas as f64 * per_dense + self.sparse_mmas as f64 * per_sparse + self.overhead_cycles
+    }
+}
+
+/// Computes the Tensor-Core work for a GEMM of shape `m x k` times `k x n` with the given
+/// activation format and MX+ handling.
+#[must_use]
+pub fn mma_counts(m: usize, n: usize, k: usize, path: MxPlusPath) -> MmaCounts {
+    let tile = MmaTile::FP4;
+    let tiles_m = m.div_ceil(tile.m) as u64;
+    let tiles_n = n.div_ceil(tile.n) as u64;
+    let tiles_k = k.div_ceil(tile.k) as u64;
+    let dense = tiles_m * tiles_n * tiles_k;
+    match path {
+        MxPlusPath::None => MmaCounts { dense_mmas: dense, sparse_mmas: 0, overhead_cycles: 0.0 },
+        MxPlusPath::Software => {
+            // One sparse m16n8k128 MMA per two dense k=64 MMAs (Algorithm 1, line 21).
+            let sparse = tiles_m * tiles_n * tiles_k.div_ceil(2);
+            // ReplaceBM + MakeFragment: a handful of register operations per fragment load,
+            // amortized over the j loop; model as 4 cycles per (m-tile, k-tile) pair.
+            let overhead = (tiles_m * tiles_k) as f64 * 4.0;
+            MmaCounts { dense_mmas: dense, sparse_mmas: sparse, overhead_cycles: overhead }
+        }
+        MxPlusPath::Hardware => {
+            // Extended OMMA: one extra register-file access for the BM indices plus the
+            // BCU-accumulate merge, neither of which stalls the MMA pipeline; model as a
+            // fixed fraction of a cycle per MMA (0.38% average slowdown in Figure 12).
+            MmaCounts { dense_mmas: dense, sparse_mmas: 0, overhead_cycles: dense as f64 * 0.06 }
+        }
+    }
+}
+
+/// Warp-level fragment layout of Figure 8: which thread of a warp holds element `(row, col)`
+/// of the 16x64 A tile, and which holds `(row, col)` of the 64x8 B tile. Used to validate
+/// the inter-thread communication argument of Section 5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragmentLayout;
+
+impl FragmentLayout {
+    /// The thread (0..32) holding element `(row, col)` of the 16x64 matrix A fragment.
+    ///
+    /// Each thread holds four 32-bit registers of eight 4-bit elements; groups of four
+    /// threads cover one row, cycling every 8 columns.
+    #[must_use]
+    pub fn a_owner(row: usize, col: usize) -> usize {
+        assert!(row < 16 && col < 64, "A tile index out of range");
+        let quad = row % 8;
+        let pair = col / 8 % 4;
+        let _ = pair;
+        // Threads are arranged so that thread = (row % 8) * 4 + (col / 8) % 4, matching the
+        // PTX fragment layout for m16n8k64 (each thread holds 8 consecutive elements).
+        (quad * 4 + (col / 8) % 4) % 32
+    }
+
+    /// The thread holding element `(row, col)` of the 64x8 matrix B fragment.
+    #[must_use]
+    pub fn b_owner(row: usize, col: usize) -> usize {
+        assert!(row < 64 && col < 8, "B tile index out of range");
+        ((col % 8) * 4 + (row / 8) % 4) % 32
+    }
+
+    /// The number of *distinct other threads* thread 0 must communicate with to gather the
+    /// BM_H operands for the first two elements of D when the BM falls at `bm_index` of the
+    /// first MX+ block of row 0 (the Section 5.1 example: warp shuffling is required).
+    #[must_use]
+    pub fn threads_contacted_for_bm(bm_index: usize) -> usize {
+        assert!(bm_index < 32, "BM index addresses one 32-element block");
+        let a_owner = FragmentLayout::a_owner(0, bm_index);
+        let b_owner0 = FragmentLayout::b_owner(bm_index, 0);
+        let b_owner1 = FragmentLayout::b_owner(bm_index, 1);
+        let mut owners = vec![a_owner, b_owner0, b_owner1];
+        owners.retain(|&t| t != 0);
+        owners.sort_unstable();
+        owners.dedup();
+        owners.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_macs() {
+        assert_eq!(MmaTile::FP4.macs(), 16 * 8 * 64);
+    }
+
+    #[test]
+    fn dense_mma_count_matches_tiling() {
+        let c = mma_counts(16, 8, 64, MxPlusPath::None);
+        assert_eq!(c.dense_mmas, 1);
+        let c = mma_counts(128, 128, 4096, MxPlusPath::None);
+        assert_eq!(c.dense_mmas, (128 / 16 * 128 / 8 * 4096 / 64) as u64);
+        // Partial tiles round up.
+        let c = mma_counts(17, 9, 65, MxPlusPath::None);
+        assert_eq!(c.dense_mmas, 2 * 2 * 2);
+    }
+
+    #[test]
+    fn software_path_adds_half_rate_sparse_mmas() {
+        let dense = mma_counts(128, 128, 4096, MxPlusPath::None);
+        let sw = mma_counts(128, 128, 4096, MxPlusPath::Software);
+        assert_eq!(sw.dense_mmas, dense.dense_mmas);
+        assert_eq!(sw.sparse_mmas, dense.dense_mmas / 2);
+        let gpu = GpuSpec::rtx5090();
+        let ratio = sw.cycles(&gpu, ThroughputClass::Fp4) / dense.cycles(&gpu, ThroughputClass::Fp4);
+        // A sparse MMA costs half a dense MMA, issued once per two dense MMAs: ~25% more
+        // Tensor-Core cycles (plus small fragment fix-up overhead).
+        assert!(ratio > 1.2 && ratio < 1.35, "software MX+ compute overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn hardware_path_overhead_is_well_below_one_percent_of_cycles() {
+        let gpu = GpuSpec::rtx5090();
+        let dense = mma_counts(2048, 4096, 4096, MxPlusPath::None);
+        let hw = mma_counts(2048, 4096, 4096, MxPlusPath::Hardware);
+        let ratio = hw.cycles(&gpu, ThroughputClass::Fp4) / dense.cycles(&gpu, ThroughputClass::Fp4);
+        assert!(ratio > 1.0 && ratio < 1.01, "hardware overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn throughput_class_scales_cycles() {
+        let gpu = GpuSpec::rtx5090();
+        let c = mma_counts(256, 256, 1024, MxPlusPath::None);
+        let fp4 = c.cycles(&gpu, ThroughputClass::Fp4);
+        let fp8 = c.cycles(&gpu, ThroughputClass::Fp8);
+        let bf16 = c.cycles(&gpu, ThroughputClass::Bf16);
+        assert!((fp8 / fp4 - 2.0).abs() < 1e-9);
+        assert!((bf16 / fp4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fragment_owners_are_valid_thread_ids() {
+        for row in 0..16 {
+            for col in 0..64 {
+                assert!(FragmentLayout::a_owner(row, col) < 32);
+            }
+        }
+        for row in 0..64 {
+            for col in 0..8 {
+                assert!(FragmentLayout::b_owner(row, col) < 32);
+            }
+        }
+    }
+
+    #[test]
+    fn bm_handling_requires_inter_thread_communication() {
+        // Section 5.1: for the Figure 8 example (BM index 8), thread 0 needs data held by
+        // other threads, which is what makes the CUDA-core fallback slow.
+        let contacted = FragmentLayout::threads_contacted_for_bm(8);
+        assert!(contacted >= 1, "BM at index 8 must involve other threads");
+        // At least some BM positions require communication.
+        let any: usize = (0..32).map(FragmentLayout::threads_contacted_for_bm).sum();
+        assert!(any > 16);
+    }
+
+    #[test]
+    fn operand_format_paths_compose() {
+        // The MX+ formats are the only ones that ever use a non-None path.
+        assert!(OperandFormat::Mxfp4Plus.is_plus());
+        assert!(!OperandFormat::Mxfp6.is_plus());
+    }
+}

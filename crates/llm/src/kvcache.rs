@@ -1,0 +1,194 @@
+//! Key/value cache for autoregressive decoding.
+//!
+//! Following the paper's methodology, the cached keys and values participate in dot
+//! products (attention scores and attention-weighted sums) and are therefore quantized
+//! with the same scheme as other dot-product operands.
+
+use mx_formats::QuantScheme;
+use mx_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The KV cache of one attention layer: keys and values appended token by token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerKvCache {
+    kv_dim: usize,
+    keys: Vec<f32>,
+    values: Vec<f32>,
+    len: usize,
+}
+
+impl LayerKvCache {
+    /// Creates an empty cache for keys/values of width `kv_dim`.
+    #[must_use]
+    pub fn new(kv_dim: usize) -> Self {
+        LayerKvCache { kv_dim, keys: Vec::new(), values: Vec::new(), len: 0 }
+    }
+
+    /// Number of cached positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Key/value width.
+    #[must_use]
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+
+    /// Appends one position's key and value rows, fake-quantized with `scheme`
+    /// (the cache stores the quantized representation, as a real serving system would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not have width `kv_dim`.
+    pub fn append(&mut self, key: &[f32], value: &[f32], scheme: QuantScheme) {
+        assert_eq!(key.len(), self.kv_dim, "key width mismatch");
+        assert_eq!(value.len(), self.kv_dim, "value width mismatch");
+        self.keys.extend(scheme.quantize_dequantize(key));
+        self.values.extend(scheme.quantize_dequantize(value));
+        self.len += 1;
+    }
+
+    /// The cached keys as a `(len, kv_dim)` matrix.
+    #[must_use]
+    pub fn keys(&self) -> Matrix {
+        Matrix::from_vec(self.len, self.kv_dim, self.keys.clone())
+    }
+
+    /// The cached values as a `(len, kv_dim)` matrix.
+    #[must_use]
+    pub fn values(&self) -> Matrix {
+        Matrix::from_vec(self.len, self.kv_dim, self.values.clone())
+    }
+
+    /// Clears the cache.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.values.clear();
+        self.len = 0;
+    }
+
+    /// Storage in bytes if the cache were held in a format of the given average width.
+    #[must_use]
+    pub fn storage_bytes(&self, bits_per_element: f64) -> usize {
+        ((2 * self.len * self.kv_dim) as f64 * bits_per_element / 8.0).ceil() as usize
+    }
+}
+
+/// KV caches for all layers of a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvCache {
+    layers: Vec<LayerKvCache>,
+}
+
+impl KvCache {
+    /// Creates empty caches for `layers` layers of key/value width `kv_dim`.
+    #[must_use]
+    pub fn new(layers: usize, kv_dim: usize) -> Self {
+        KvCache { layers: (0..layers).map(|_| LayerKvCache::new(kv_dim)).collect() }
+    }
+
+    /// The cache of one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn layer(&self, layer: usize) -> &LayerKvCache {
+        &self.layers[layer]
+    }
+
+    /// Mutable access to one layer's cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_mut(&mut self, layer: usize) -> &mut LayerKvCache {
+        &mut self.layers[layer]
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Sequence length currently cached (same for every layer).
+    #[must_use]
+    pub fn seq_len(&self) -> usize {
+        self.layers.first().map_or(0, LayerKvCache::len)
+    }
+
+    /// Clears every layer.
+    pub fn clear(&mut self) {
+        for l in &mut self.layers {
+            l.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let mut cache = LayerKvCache::new(4);
+        cache.append(&[1.0, 2.0, 3.0, 4.0], &[0.5, 0.5, 0.5, 0.5], QuantScheme::Fp32);
+        cache.append(&[-1.0, 0.0, 1.0, 2.0], &[0.1, 0.2, 0.3, 0.4], QuantScheme::Fp32);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.keys().shape(), (2, 4));
+        assert_eq!(cache.keys().row(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cache.values().row(1), &[0.1, 0.2, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn quantized_cache_is_lossy_but_close() {
+        let mut exact = LayerKvCache::new(64);
+        let mut quant = LayerKvCache::new(64);
+        let key: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+        let value: Vec<f32> = (0..64).map(|i| (i as f32 * 0.11).cos()).collect();
+        exact.append(&key, &value, QuantScheme::Fp32);
+        quant.append(&key, &value, QuantScheme::mxfp4());
+        let err = mx_formats::metrics::mse(exact.keys().row(0), quant.keys().row(0));
+        assert!(err > 0.0 && err < 0.05);
+    }
+
+    #[test]
+    fn multi_layer_cache() {
+        let mut cache = KvCache::new(3, 8);
+        assert_eq!(cache.num_layers(), 3);
+        assert_eq!(cache.seq_len(), 0);
+        for l in 0..3 {
+            cache.layer_mut(l).append(&[0.0; 8], &[0.0; 8], QuantScheme::Fp32);
+        }
+        assert_eq!(cache.seq_len(), 1);
+        cache.clear();
+        assert_eq!(cache.seq_len(), 0);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut cache = LayerKvCache::new(32);
+        for _ in 0..10 {
+            cache.append(&[0.1; 32], &[0.2; 32], QuantScheme::Fp32);
+        }
+        // 2 * 10 * 32 elements at 4.25 bits.
+        assert_eq!(cache.storage_bytes(4.25), 340);
+        assert_eq!(cache.storage_bytes(16.0), 1280);
+    }
+
+    #[test]
+    #[should_panic(expected = "key width mismatch")]
+    fn append_validates_width() {
+        let mut cache = LayerKvCache::new(4);
+        cache.append(&[1.0; 3], &[1.0; 4], QuantScheme::Fp32);
+    }
+}

@@ -1,0 +1,379 @@
+//! The transformer model: prefill and decode with quantized dot products.
+
+use mx_tensor::{kernels, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{MlpKind, ModelConfig, NormKind};
+use crate::kvcache::KvCache;
+use crate::quant_config::ModelQuantConfig;
+use crate::weights::ModelWeights;
+
+/// A decoder-only transformer with pluggable quantization of every dot-product operand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerModel {
+    config: ModelConfig,
+    weights: ModelWeights,
+    quant: ModelQuantConfig,
+}
+
+impl TransformerModel {
+    /// Builds the model, generating deterministic weights from the configuration's seed.
+    #[must_use]
+    pub fn new(config: ModelConfig, quant: ModelQuantConfig) -> Self {
+        let weights = ModelWeights::generate(&config);
+        TransformerModel { config, weights, quant }
+    }
+
+    /// Builds the model from explicit weights.
+    #[must_use]
+    pub fn with_weights(config: ModelConfig, weights: ModelWeights, quant: ModelQuantConfig) -> Self {
+        TransformerModel { config, weights, quant }
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The quantization configuration.
+    #[must_use]
+    pub fn quant(&self) -> ModelQuantConfig {
+        self.quant
+    }
+
+    /// The model weights.
+    #[must_use]
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    /// Changes the quantization configuration (weights are stored unquantized and are
+    /// direct-cast on every projection, so this is a pure configuration change).
+    pub fn set_quant(&mut self, quant: ModelQuantConfig) {
+        self.quant = quant;
+    }
+
+    /// Creates an empty KV cache sized for this model.
+    #[must_use]
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(self.config.layers, self.config.head_dim() * self.config.kv_heads)
+    }
+
+    /// Runs the model over `tokens`, appending to `cache`, and returns the logits for
+    /// every input position as a `(tokens.len(), vocab)` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id outside the vocabulary.
+    #[must_use]
+    pub fn forward(&self, tokens: &[usize], cache: &mut KvCache) -> Matrix {
+        assert!(!tokens.is_empty(), "token sequence must be non-empty");
+        let h = self.config.hidden;
+        let start_pos = cache.seq_len();
+
+        // Token embeddings (vector op: BF16 precision like the baseline).
+        let mut x = Matrix::from_fn(tokens.len(), h, |r, c| {
+            let t = tokens[r];
+            assert!(t < self.config.vocab, "token id {t} out of vocabulary");
+            self.weights.embedding.get(t, c)
+        });
+
+        for layer in 0..self.config.layers {
+            x = self.layer_forward(layer, &x, start_pos, cache);
+        }
+
+        // Final norm + LM head.
+        let normed = self.apply_norm(&x, &self.weights.final_norm_gain, &self.weights.final_norm_bias);
+        normed.matmul_quantized(&self.weights.lm_head, self.quant.lm_head)
+    }
+
+    /// Prefill convenience: runs `forward` with a fresh cache and returns `(logits, cache)`.
+    #[must_use]
+    pub fn prefill(&self, tokens: &[usize]) -> (Matrix, KvCache) {
+        let mut cache = self.new_cache();
+        let logits = self.forward(tokens, &mut cache);
+        (logits, cache)
+    }
+
+    /// Decodes a single token given an existing cache, returning its logits.
+    #[must_use]
+    pub fn decode_step(&self, token: usize, cache: &mut KvCache) -> Vec<f32> {
+        let logits = self.forward(&[token], cache);
+        logits.row(0).to_vec()
+    }
+
+    /// Greedy generation of `n` tokens after prefilling `prompt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty.
+    #[must_use]
+    pub fn generate_greedy(&self, prompt: &[usize], n: usize) -> Vec<usize> {
+        let (logits, mut cache) = self.prefill(prompt);
+        let mut out = Vec::with_capacity(n);
+        let mut next = argmax(logits.row(logits.rows() - 1));
+        for _ in 0..n {
+            out.push(next);
+            let step = self.decode_step(next, &mut cache);
+            next = argmax(&step);
+        }
+        out
+    }
+
+    fn apply_norm(&self, x: &Matrix, gain: &[f32], bias: &[f32]) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let normed = match self.config.norm {
+                NormKind::Rms => kernels::rmsnorm(x.row(r), gain, 1e-6),
+                NormKind::Layer => kernels::layernorm(x.row(r), gain, bias, 1e-6),
+            };
+            out.row_mut(r).copy_from_slice(&normed);
+        }
+        out
+    }
+
+    fn layer_forward(&self, layer: usize, x: &Matrix, start_pos: usize, cache: &mut KvCache) -> Matrix {
+        let lw = &self.weights.layers[layer];
+        let cfg = &self.config;
+        let head_dim = cfg.head_dim();
+        let kv_dim = head_dim * cfg.kv_heads;
+        let group = cfg.heads / cfg.kv_heads;
+        let seq = x.rows();
+
+        // --- Attention ---
+        let normed = self.apply_norm(x, &lw.attn_norm_gain, &lw.attn_norm_bias);
+        let mut q = normed.matmul_quantized(&lw.wq, self.quant.linear);
+        let mut k = normed.matmul_quantized(&lw.wk, self.quant.linear);
+        let v = normed.matmul_quantized(&lw.wv, self.quant.linear);
+
+        // Rotary embeddings per head (vector op, baseline precision).
+        if cfg.rope_theta > 0.0 {
+            for r in 0..seq {
+                let pos = start_pos + r;
+                for head in 0..cfg.heads {
+                    let s = head * head_dim;
+                    kernels::apply_rope(&mut q.row_mut(r)[s..s + head_dim], pos, cfg.rope_theta);
+                }
+                for kv_head in 0..cfg.kv_heads {
+                    let s = kv_head * head_dim;
+                    kernels::apply_rope(&mut k.row_mut(r)[s..s + head_dim], pos, cfg.rope_theta);
+                }
+            }
+        }
+
+        // Append the new keys/values to the cache (stored quantized).
+        for r in 0..seq {
+            cache.layer_mut(layer).append(k.row(r), v.row(r), self.quant.kv_cache);
+        }
+        let keys = cache.layer(layer).keys();
+        let values = cache.layer(layer).values();
+
+        // Attention per query position and head, causal over the cache.
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let mut attn_out = Matrix::zeros(seq, cfg.heads * head_dim);
+        for r in 0..seq {
+            let visible = start_pos + r + 1;
+            // Quantize the query row operand (it feeds a dot product against cached keys).
+            let q_row = self.quant.linear.activations.quantize_dequantize(q.row(r));
+            for head in 0..cfg.heads {
+                let kv_head = head / group;
+                let qs = head * head_dim;
+                let ks = kv_head * head_dim;
+                let mut scores = Vec::with_capacity(visible);
+                for t in 0..visible {
+                    let key_row = keys.row(t);
+                    let dot: f32 = q_row[qs..qs + head_dim]
+                        .iter()
+                        .zip(&key_row[ks..ks + head_dim])
+                        .map(|(a, b)| a * b)
+                        .sum();
+                    scores.push(dot * scale);
+                }
+                kernels::softmax_inplace(&mut scores);
+                // The probability operand of the probs x V matmul is also a dot-product
+                // operand; quantize it with the activation scheme.
+                let probs = self.quant.attention_probs.quantize_dequantize(&scores);
+                let out_slice = &mut attn_out.row_mut(r)[qs..qs + head_dim];
+                for (t, &p) in probs.iter().enumerate() {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let value_row = values.row(t);
+                    for (o, &vv) in out_slice.iter_mut().zip(&value_row[ks..ks + head_dim]) {
+                        *o += p * vv;
+                    }
+                }
+            }
+        }
+        let _ = kv_dim;
+
+        let attn_proj = attn_out.matmul_quantized(&lw.wo, self.quant.linear);
+        let x = x.add(&attn_proj);
+
+        // --- MLP ---
+        let normed = self.apply_norm(&x, &lw.mlp_norm_gain, &lw.mlp_norm_bias);
+        let mlp_out = match cfg.mlp {
+            MlpKind::GatedSilu => {
+                let gate = normed.matmul_quantized(&lw.w_gate, self.quant.linear);
+                let up = normed.matmul_quantized(&lw.w_up, self.quant.linear);
+                let mut hidden = Matrix::zeros(seq, cfg.intermediate);
+                for r in 0..seq {
+                    for c in 0..cfg.intermediate {
+                        hidden.set(r, c, kernels::silu(gate.get(r, c)) * up.get(r, c));
+                    }
+                }
+                hidden.matmul_quantized(&lw.w_down, self.quant.linear)
+            }
+            MlpKind::Gelu => {
+                let fc1 = normed.matmul_quantized(&lw.w_gate, self.quant.linear);
+                let mut hidden = Matrix::zeros(seq, cfg.intermediate);
+                for r in 0..seq {
+                    for c in 0..cfg.intermediate {
+                        hidden.set(r, c, kernels::gelu(fc1.get(r, c)));
+                    }
+                }
+                hidden.matmul_quantized(&lw.w_down, self.quant.linear)
+            }
+        };
+        x.add(&mlp_out)
+    }
+}
+
+/// Index of the maximum element (first occurrence on ties).
+#[must_use]
+pub fn argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mx_formats::QuantScheme;
+
+    fn tiny_model(quant: ModelQuantConfig) -> TransformerModel {
+        TransformerModel::new(ModelConfig::tiny_test(7), quant)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let model = tiny_model(ModelQuantConfig::BASELINE);
+        let (logits, cache) = model.prefill(&[1, 2, 3, 4, 5]);
+        assert_eq!(logits.shape(), (5, model.config().vocab));
+        assert_eq!(cache.seq_len(), 5);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn decode_extends_cache() {
+        let model = tiny_model(ModelQuantConfig::BASELINE);
+        let (_, mut cache) = model.prefill(&[1, 2, 3]);
+        let logits = model.decode_step(4, &mut cache);
+        assert_eq!(logits.len(), model.config().vocab);
+        assert_eq!(cache.seq_len(), 4);
+    }
+
+    #[test]
+    fn prefill_then_decode_matches_full_prefill() {
+        // Causality check: running [a, b, c] at once must give the same last-position
+        // logits as prefilling [a, b] and decoding c.
+        let model = tiny_model(ModelQuantConfig::BASELINE);
+        let (full, _) = model.prefill(&[5, 9, 13]);
+        let (_, mut cache) = model.prefill(&[5, 9]);
+        let step = model.decode_step(13, &mut cache);
+        let last = full.row(2);
+        for (a, b) in last.iter().zip(&step) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn earlier_logits_unaffected_by_later_tokens() {
+        let model = tiny_model(ModelQuantConfig::BASELINE);
+        let (l1, _) = model.prefill(&[3, 7, 11, 2]);
+        let (l2, _) = model.prefill(&[3, 7, 99, 100]);
+        for (a, b) in l1.row(1).iter().zip(l2.row(1)) {
+            assert!((a - b).abs() < 1e-5, "causality violated");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_quant() {
+        let m1 = tiny_model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        let m2 = tiny_model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        let (a, _) = m1.prefill(&[1, 2, 3, 4]);
+        let (b, _) = m2.prefill(&[1, 2, 3, 4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantization_perturbs_but_does_not_break_logits() {
+        let base = tiny_model(ModelQuantConfig::BASELINE);
+        let quant = tiny_model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        let tokens = [1, 2, 3, 4, 5, 6, 7, 8];
+        let (lb, _) = base.prefill(&tokens);
+        let (lq, _) = quant.prefill(&tokens);
+        assert!(lq.data().iter().all(|v| v.is_finite()));
+        assert!(lb.mse(&lq) > 0.0);
+    }
+
+    #[test]
+    fn mxfp4_plus_is_closer_to_baseline_than_mxfp4() {
+        // Use a configuration with pronounced activation outliers (as in the full model
+        // presets) so the block-max effect dominates the logit perturbation.
+        let mut cfg = ModelConfig::tiny_test(7);
+        cfg.outliers =
+            mx_tensor::OutlierSpec { channel_fraction: 0.02, magnitude: 60.0, fire_probability: 0.97 };
+        let base = TransformerModel::new(cfg.clone(), ModelQuantConfig::BASELINE);
+        let fp4 = TransformerModel::new(cfg.clone(), ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        let fp4p = TransformerModel::new(cfg, ModelQuantConfig::uniform(QuantScheme::mxfp4_plus()));
+        let tokens: Vec<usize> = (0..24).map(|i| (i * 7) % 128).collect();
+        let (lb, _) = base.prefill(&tokens);
+        let (l4, _) = fp4.prefill(&tokens);
+        let (l4p, _) = fp4p.prefill(&tokens);
+        assert!(lb.mse(&l4p) < lb.mse(&l4), "MX+ logits must be closer to the baseline");
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let model = tiny_model(ModelQuantConfig::BASELINE);
+        let a = model.generate_greedy(&[1, 2, 3], 6);
+        let b = model.generate_greedy(&[1, 2, 3], 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|&t| t < model.config().vocab));
+    }
+
+    #[test]
+    fn argmax_ties_resolve_to_first() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+
+    #[test]
+    fn gelu_layernorm_model_variant_runs() {
+        // OPT-style: LayerNorm + GELU MLP + no RoPE.
+        let mut cfg = ModelConfig::tiny_test(9);
+        cfg.norm = crate::config::NormKind::Layer;
+        cfg.mlp = crate::config::MlpKind::Gelu;
+        cfg.rope_theta = 0.0;
+        let model = TransformerModel::new(cfg, ModelQuantConfig::uniform(QuantScheme::mxfp6()));
+        let (logits, _) = model.prefill(&[1, 2, 3, 4]);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_out_of_vocab_tokens() {
+        let model = tiny_model(ModelQuantConfig::BASELINE);
+        let _ = model.prefill(&[9999]);
+    }
+}

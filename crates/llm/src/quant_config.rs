@@ -1,0 +1,140 @@
+//! Model-level quantization configuration.
+//!
+//! Following the paper's methodology (Section 7.1), the MX and MX+ formats are applied to
+//! *all tensors involved in any dot product*, including the language-modeling head and the
+//! KV cache, while vector operations (normalization, softmax) stay in BF16/FP32.
+
+use mx_formats::quantize::{MatmulQuantConfig, QuantScheme};
+use serde::{Deserialize, Serialize};
+
+/// Quantization configuration for a whole model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelQuantConfig {
+    /// Scheme pair for every linear projection (attention and MLP).
+    pub linear: MatmulQuantConfig,
+    /// Scheme pair for the language-model head.
+    pub lm_head: MatmulQuantConfig,
+    /// Scheme used for the cached keys and values (and the attention dot products).
+    pub kv_cache: QuantScheme,
+    /// Scheme applied to the attention probability operand of the `probs x V` matmul.
+    pub attention_probs: QuantScheme,
+}
+
+impl ModelQuantConfig {
+    /// The BF16 baseline ("B" in the paper): BF16 matmuls, FP32 softmax.
+    pub const BASELINE: ModelQuantConfig = ModelQuantConfig {
+        linear: MatmulQuantConfig::BASELINE,
+        lm_head: MatmulQuantConfig::BASELINE,
+        kv_cache: QuantScheme::Bf16,
+        attention_probs: QuantScheme::Bf16,
+    };
+
+    /// Applies one scheme to every dot-product operand (the paper's direct-cast setting
+    /// for MXFP4, MXFP6, MXFP8, MXFP4+, ...).
+    #[must_use]
+    pub const fn uniform(scheme: QuantScheme) -> Self {
+        ModelQuantConfig {
+            linear: MatmulQuantConfig::uniform(scheme),
+            lm_head: MatmulQuantConfig::uniform(scheme),
+            kv_cache: scheme,
+            attention_probs: scheme,
+        }
+    }
+
+    /// Mixed configuration: `activations` for activation operands (including the KV-cache
+    /// query/probability side), `weights` for weight operands and the cached K/V.
+    #[must_use]
+    pub const fn mixed(activations: QuantScheme, weights: QuantScheme) -> Self {
+        ModelQuantConfig {
+            linear: MatmulQuantConfig { activations, weights },
+            lm_head: MatmulQuantConfig { activations, weights },
+            kv_cache: weights,
+            attention_probs: activations,
+        }
+    }
+
+    /// The paper's A-MXFP4+ configuration: MXFP4+ for activations, MXFP4 for weights.
+    #[must_use]
+    pub const fn a_mxfp4_plus() -> Self {
+        ModelQuantConfig::mixed(QuantScheme::mxfp4_plus(), QuantScheme::mxfp4())
+    }
+
+    /// Figure 3's "A-BF16, W-MXFP4": only weights quantized.
+    #[must_use]
+    pub const fn weights_only_mxfp4() -> Self {
+        ModelQuantConfig::mixed(QuantScheme::Bf16, QuantScheme::mxfp4())
+    }
+
+    /// Figure 3's "A-MXFP4, W-BF16": only activations quantized.
+    #[must_use]
+    pub const fn activations_only_mxfp4() -> Self {
+        ModelQuantConfig::mixed(QuantScheme::mxfp4(), QuantScheme::Bf16)
+    }
+
+    /// Excludes the language-model head from quantization (the Table 7 comparison setting,
+    /// which quantizes only weight-activation matmuls shared across all schemes).
+    #[must_use]
+    pub const fn without_lm_head(mut self) -> Self {
+        self.lm_head = MatmulQuantConfig::BASELINE;
+        self
+    }
+
+    /// Display name mirroring the paper's row labels.
+    #[must_use]
+    pub fn name(&self) -> String {
+        if self.linear == MatmulQuantConfig::BASELINE {
+            "BF16".to_string()
+        } else {
+            self.linear.name()
+        }
+    }
+}
+
+impl Default for ModelQuantConfig {
+    fn default() -> Self {
+        ModelQuantConfig::BASELINE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_config_applies_everywhere() {
+        let cfg = ModelQuantConfig::uniform(QuantScheme::mxfp4());
+        assert_eq!(cfg.linear.activations, QuantScheme::mxfp4());
+        assert_eq!(cfg.linear.weights, QuantScheme::mxfp4());
+        assert_eq!(cfg.lm_head.weights, QuantScheme::mxfp4());
+        assert_eq!(cfg.kv_cache, QuantScheme::mxfp4());
+        assert_eq!(cfg.attention_probs, QuantScheme::mxfp4());
+    }
+
+    #[test]
+    fn mixed_config_routes_schemes() {
+        let cfg = ModelQuantConfig::a_mxfp4_plus();
+        assert_eq!(cfg.linear.activations, QuantScheme::mxfp4_plus());
+        assert_eq!(cfg.linear.weights, QuantScheme::mxfp4());
+        assert_eq!(cfg.kv_cache, QuantScheme::mxfp4());
+        assert_eq!(cfg.attention_probs, QuantScheme::mxfp4_plus());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ModelQuantConfig::BASELINE.name(), "BF16");
+        assert_eq!(ModelQuantConfig::uniform(QuantScheme::mxfp4()).name(), "MXFP4");
+        assert_eq!(ModelQuantConfig::a_mxfp4_plus().name(), "A-MXFP4+, W-MXFP4");
+    }
+
+    #[test]
+    fn lm_head_exclusion() {
+        let cfg = ModelQuantConfig::uniform(QuantScheme::mxfp4()).without_lm_head();
+        assert_eq!(cfg.lm_head, MatmulQuantConfig::BASELINE);
+        assert_eq!(cfg.linear.weights, QuantScheme::mxfp4());
+    }
+
+    #[test]
+    fn default_is_baseline() {
+        assert_eq!(ModelQuantConfig::default(), ModelQuantConfig::BASELINE);
+    }
+}

@@ -1,0 +1,181 @@
+//! Deterministic synthetic weight generation for the transformer substrate.
+//!
+//! Weights are drawn with Xavier scaling from the model's seed. To mirror the
+//! channel-concentrated activation outliers of real LLMs (Figure 4a), the input
+//! projections of every layer carry a few *amplified input columns* aligned with the
+//! model's outlier channels: activations flowing through those channels are consistently
+//! magnified, which reproduces the persistent per-channel outlier structure that breaks
+//! low-bit block quantization.
+
+use mx_tensor::{synth, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{MlpKind, ModelConfig};
+
+/// Weights of one transformer layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerWeights {
+    /// Query projection `(hidden, heads * head_dim)`.
+    pub wq: Matrix,
+    /// Key projection `(hidden, kv_heads * head_dim)`.
+    pub wk: Matrix,
+    /// Value projection `(hidden, kv_heads * head_dim)`.
+    pub wv: Matrix,
+    /// Output projection `(hidden, hidden)`.
+    pub wo: Matrix,
+    /// Gate projection for gated MLPs, or the first FC layer for GELU MLPs
+    /// `(hidden, intermediate)`.
+    pub w_gate: Matrix,
+    /// Up projection `(hidden, intermediate)`; unused (empty) for GELU MLPs.
+    pub w_up: Matrix,
+    /// Down projection `(intermediate, hidden)`.
+    pub w_down: Matrix,
+    /// Pre-attention norm gain `(hidden)`.
+    pub attn_norm_gain: Vec<f32>,
+    /// Pre-attention norm bias (LayerNorm models only).
+    pub attn_norm_bias: Vec<f32>,
+    /// Pre-MLP norm gain.
+    pub mlp_norm_gain: Vec<f32>,
+    /// Pre-MLP norm bias.
+    pub mlp_norm_bias: Vec<f32>,
+}
+
+/// All weights of a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelWeights {
+    /// Token embedding table `(vocab, hidden)`.
+    pub embedding: Matrix,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+    /// Final norm gain.
+    pub final_norm_gain: Vec<f32>,
+    /// Final norm bias.
+    pub final_norm_bias: Vec<f32>,
+    /// Language-model head `(hidden, vocab)`.
+    pub lm_head: Matrix,
+}
+
+impl ModelWeights {
+    /// Generates the weights for a configuration, deterministically from its seed.
+    #[must_use]
+    pub fn generate(cfg: &ModelConfig) -> Self {
+        let h = cfg.hidden;
+        let kv_dim = cfg.head_dim() * cfg.kv_heads;
+        let seed = cfg.seed;
+        // Outlier channel positions: the pre-projection norm gains amplify these channels,
+        // so the activations reaching every quantized projection carry the
+        // Figure-4-style persistent per-channel outliers.
+        let profile = mx_tensor::ActivationProfile::new(h, 1.0, cfg.outliers, seed);
+        let outlier_channels: Vec<usize> = profile.outlier_channels().to_vec();
+
+        let mut layers = Vec::with_capacity(cfg.layers);
+        for l in 0..cfg.layers {
+            let ls = seed.wrapping_add(1000 + l as u64 * 17);
+            let gelu_mlp = matches!(cfg.mlp, MlpKind::Gelu);
+            layers.push(LayerWeights {
+                wq: synth::xavier_weights(h, h, 1.0, ls ^ 0x01),
+                wk: synth::xavier_weights(h, kv_dim, 1.0, ls ^ 0x02),
+                wv: synth::xavier_weights(h, kv_dim, 1.0, ls ^ 0x03),
+                wo: synth::xavier_weights(h, h, 1.0, ls ^ 0x04),
+                w_gate: synth::xavier_weights(h, cfg.intermediate, 1.0, ls ^ 0x05),
+                w_up: if gelu_mlp {
+                    Matrix::zeros(0, 0)
+                } else {
+                    synth::xavier_weights(h, cfg.intermediate, 1.0, ls ^ 0x06)
+                },
+                w_down: synth::xavier_weights(cfg.intermediate, h, 1.0, ls ^ 0x07),
+                attn_norm_gain: outlier_gain(h, &outlier_channels, cfg.outliers.magnitude),
+                attn_norm_bias: vec![0.0; h],
+                mlp_norm_gain: outlier_gain(h, &outlier_channels, cfg.outliers.magnitude),
+                mlp_norm_bias: vec![0.0; h],
+            });
+        }
+
+        ModelWeights {
+            embedding: synth::xavier_weights(cfg.vocab, h, 1.0, seed ^ 0xe0),
+            layers,
+            final_norm_gain: vec![1.0; h],
+            final_norm_bias: vec![0.0; h],
+            lm_head: synth::xavier_weights(h, cfg.vocab, 1.5, seed ^ 0xe1),
+        }
+    }
+
+    /// Total number of weight parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        let count = |m: &Matrix| m.rows() * m.cols();
+        let mut total = count(&self.embedding) + count(&self.lm_head);
+        for l in &self.layers {
+            total += count(&l.wq) + count(&l.wk) + count(&l.wv) + count(&l.wo);
+            total += count(&l.w_gate) + count(&l.w_up) + count(&l.w_down);
+        }
+        total
+    }
+}
+
+/// Norm gain vector that amplifies the outlier channels: this is how the persistent
+/// per-channel activation outliers enter the (quantized) projection inputs.
+fn outlier_gain(hidden: usize, outlier_channels: &[usize], magnitude: f32) -> Vec<f32> {
+    let mut gain = vec![1.0_f32; hidden];
+    for (i, &c) in outlier_channels.iter().enumerate() {
+        // Alternate sign and vary the magnitude slightly per channel.
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        gain[c] = sign * magnitude * (0.8 + 0.4 * ((i * 37 % 10) as f32 / 10.0));
+    }
+    gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ModelConfig::tiny_test(3);
+        let a = ModelWeights::generate(&cfg);
+        let b = ModelWeights::generate(&cfg);
+        assert_eq!(a, b);
+        let c = ModelWeights::generate(&ModelConfig::tiny_test(4));
+        assert_ne!(a.embedding, c.embedding);
+    }
+
+    #[test]
+    fn shapes_follow_config() {
+        let cfg = ModelConfig::llama31_8b();
+        let w = ModelWeights::generate(&cfg);
+        assert_eq!(w.layers.len(), cfg.layers);
+        let kv_dim = cfg.head_dim() * cfg.kv_heads;
+        assert_eq!(w.layers[0].wq.shape(), (cfg.hidden, cfg.hidden));
+        assert_eq!(w.layers[0].wk.shape(), (cfg.hidden, kv_dim));
+        assert_eq!(w.layers[0].wv.shape(), (cfg.hidden, kv_dim));
+        assert_eq!(w.layers[0].w_gate.shape(), (cfg.hidden, cfg.intermediate));
+        assert_eq!(w.layers[0].w_down.shape(), (cfg.intermediate, cfg.hidden));
+        assert_eq!(w.embedding.shape(), (cfg.vocab, cfg.hidden));
+        assert_eq!(w.lm_head.shape(), (cfg.hidden, cfg.vocab));
+    }
+
+    #[test]
+    fn gelu_models_have_no_up_projection() {
+        let w = ModelWeights::generate(&ModelConfig::opt_66b());
+        assert_eq!(w.layers[0].w_up.shape(), (0, 0));
+        let w2 = ModelWeights::generate(&ModelConfig::llama31_8b());
+        assert_ne!(w2.layers[0].w_up.shape(), (0, 0));
+    }
+
+    #[test]
+    fn norm_gains_encode_outlier_channels() {
+        let cfg = ModelConfig::llama31_8b();
+        let w = ModelWeights::generate(&cfg);
+        let big = w.layers[0].attn_norm_gain.iter().filter(|g| g.abs() > 5.0).count();
+        assert!(big >= 1, "expected amplified outlier channels in the norm gain");
+        assert!(big < cfg.hidden / 8, "outlier channels must be sparse");
+    }
+
+    #[test]
+    fn parameter_count_matches_manual_sum() {
+        let cfg = ModelConfig::tiny_test(1);
+        let w = ModelWeights::generate(&cfg);
+        assert!(w.parameter_count() > cfg.vocab * cfg.hidden);
+    }
+}

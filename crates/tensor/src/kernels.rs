@@ -1,0 +1,239 @@
+//! Elementwise and normalization kernels used by the transformer and DNN substrates.
+//!
+//! Following the paper's computation flow, these vector operations run in the baseline
+//! precision (BF16/FP32) and are *not* quantized to MX formats; only dot-product operands
+//! are.
+
+/// Numerically stable softmax over a slice, in place (FP32, as in the paper's baseline).
+pub fn softmax_inplace(values: &mut [f32]) {
+    if values.is_empty() {
+        return;
+    }
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0_f32;
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in values.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Softmax returning a new vector.
+#[must_use]
+pub fn softmax(values: &[f32]) -> Vec<f32> {
+    let mut out = values.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// Log-softmax (used by the cross-entropy / perplexity evaluation).
+#[must_use]
+pub fn log_softmax(values: &[f32]) -> Vec<f32> {
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = values.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+    values.iter().map(|v| v - max - log_sum).collect()
+}
+
+/// RMSNorm (Llama-style): `x / rms(x) * gain`.
+///
+/// # Panics
+///
+/// Panics if `gain.len() != values.len()`.
+#[must_use]
+pub fn rmsnorm(values: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(values.len(), gain.len(), "gain length must match");
+    let ms = values.iter().map(|v| v * v).sum::<f32>() / values.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    values.iter().zip(gain).map(|(v, g)| v * inv * g).collect()
+}
+
+/// LayerNorm with learned gain and bias.
+///
+/// # Panics
+///
+/// Panics if the gain/bias lengths do not match.
+#[must_use]
+pub fn layernorm(values: &[f32], gain: &[f32], bias: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(values.len(), gain.len(), "gain length must match");
+    assert_eq!(values.len(), bias.len(), "bias length must match");
+    let n = values.len() as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + eps).sqrt();
+    values
+        .iter()
+        .zip(gain.iter().zip(bias))
+        .map(|(v, (g, b))| (v - mean) * inv * g + b)
+        .collect()
+}
+
+/// SiLU (swish) activation, used by Llama/Mistral-style gated MLPs.
+#[must_use]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// GELU activation (tanh approximation), used by OPT/ViT-style MLPs.
+#[must_use]
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// ReLU activation.
+#[must_use]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Cross entropy (in nats) of a logit vector against a target class index.
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()`.
+#[must_use]
+pub fn cross_entropy(logits: &[f32], target: usize) -> f32 {
+    assert!(target < logits.len(), "target out of range");
+    -log_softmax(logits)[target]
+}
+
+/// KL divergence `KL(p_ref || p_other)` between the softmax distributions of two logit
+/// vectors. Used by the perplexity-proxy evaluation.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[must_use]
+pub fn kl_divergence_logits(reference: &[f32], other: &[f32]) -> f64 {
+    assert_eq!(reference.len(), other.len(), "logit length mismatch");
+    let p = softmax(reference);
+    let log_p = log_softmax(reference);
+    let log_q = log_softmax(other);
+    p.iter()
+        .zip(log_p.iter().zip(&log_q))
+        .map(|(&pi, (&lpi, &lqi))| {
+            if pi <= 0.0 {
+                0.0
+            } else {
+                f64::from(pi) * f64::from(lpi - lqi)
+            }
+        })
+        .sum::<f64>()
+        .max(0.0)
+}
+
+/// Rotary position embedding applied in place to a query/key head of even dimension.
+///
+/// # Panics
+///
+/// Panics if `head.len()` is odd.
+pub fn apply_rope(head: &mut [f32], position: usize, theta: f32) {
+    assert!(head.len() % 2 == 0, "RoPE head dimension must be even");
+    let half = head.len() / 2;
+    for i in 0..half {
+        let freq = theta.powf(-2.0 * i as f32 / head.len() as f32);
+        let angle = position as f32 * freq;
+        let (sin, cos) = angle.sin_cos();
+        let (a, b) = (head[i], head[i + half]);
+        head[i] = a * cos - b * sin;
+        head[i + half] = a * sin + b * cos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut v = vec![1000.0_f32, 1001.0, 999.0];
+        softmax_inplace(&mut v);
+        assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(v.iter().all(|x| x.is_finite() && *x >= 0.0));
+        assert!(v[1] > v[0] && v[0] > v[2]);
+    }
+
+    #[test]
+    fn softmax_of_empty_is_noop() {
+        let mut v: Vec<f32> = vec![];
+        softmax_inplace(&mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn log_softmax_consistency() {
+        let v = [0.3_f32, -1.2, 2.5, 0.0];
+        let p = softmax(&v);
+        let lp = log_softmax(&v);
+        for (pi, lpi) in p.iter().zip(&lp) {
+            assert!((pi.ln() - lpi).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rmsnorm_unit_output_scale() {
+        let x = [3.0_f32, -4.0, 0.0, 0.0];
+        let gain = [1.0_f32; 4];
+        let y = rmsnorm(&x, &gain, 1e-6);
+        let rms = (y.iter().map(|v| v * v).sum::<f32>() / 4.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_variance() {
+        let x = [1.0_f32, 2.0, 3.0, 4.0];
+        let y = layernorm(&x, &[1.0; 4], &[0.0; 4], 1e-6);
+        let mean = y.iter().sum::<f32>() / 4.0;
+        let var = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn activation_functions_reference_points() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(3.0), 3.0);
+        assert!((silu(0.0)).abs() < 1e-7);
+        assert!((gelu(0.0)).abs() < 1e-7);
+        assert!((silu(10.0) - 10.0).abs() < 1e-3);
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let logits = [5.0_f32, 0.0, -2.0];
+        assert!(cross_entropy(&logits, 0) < cross_entropy(&logits, 1));
+        assert!(cross_entropy(&logits, 1) < cross_entropy(&logits, 2));
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let a = [0.5_f32, -0.2, 1.3, 0.0];
+        assert!(kl_divergence_logits(&a, &a).abs() < 1e-9);
+        let b = [0.4_f32, -0.1, 1.0, 0.3];
+        let kl = kl_divergence_logits(&a, &b);
+        assert!(kl > 0.0);
+        // A bigger perturbation yields a bigger divergence.
+        let c = [2.0_f32, -3.0, -1.0, 4.0];
+        assert!(kl_divergence_logits(&a, &c) > kl);
+    }
+
+    #[test]
+    fn rope_preserves_norm_and_is_position_dependent() {
+        let base = vec![0.3_f32, -0.7, 1.1, 0.2, 0.9, -0.4, 0.0, 0.5];
+        let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let mut p0 = base.clone();
+        apply_rope(&mut p0, 0, 10_000.0);
+        let mut p5 = base.clone();
+        apply_rope(&mut p5, 5, 10_000.0);
+        assert!((norm(&p0) - norm(&base)).abs() < 1e-5);
+        assert!((norm(&p5) - norm(&base)).abs() < 1e-5);
+        assert_ne!(p0, p5);
+        // Position 0 is the identity rotation.
+        assert_eq!(p0, base);
+    }
+}

@@ -1,0 +1,174 @@
+//! A quantized linear layer: the unit of computation the paper quantizes.
+//!
+//! Every dot-product operand in the paper's evaluation — attention projections, MLP
+//! projections, the language-model head, and the KV-cache matmuls — goes through this
+//! layer abstraction: weights are quantized once at load time (direct cast), activations
+//! are quantized on the fly per forward call.
+
+use mx_formats::quantize::{MatmulQuantConfig, QuantScheme};
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// A linear layer `y = x W` with independently quantized weight and activation operands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedLinear {
+    /// Weight matrix of shape `(in_features, out_features)`, already fake-quantized with
+    /// the weight scheme (direct cast at construction time).
+    weight: Matrix,
+    config: MatmulQuantConfig,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl QuantizedLinear {
+    /// Creates the layer from full-precision weights, direct-casting them with
+    /// `config.weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight matrix is empty.
+    #[must_use]
+    pub fn new(weight: Matrix, config: MatmulQuantConfig) -> Self {
+        assert!(weight.rows() > 0 && weight.cols() > 0, "weight matrix must be non-empty");
+        let (in_features, out_features) = weight.shape();
+        // Weights are blocked along the reduction dimension (their rows): quantize the
+        // transposed matrix row-wise, then transpose back, exactly as in
+        // `Matrix::matmul_quantized`.
+        let quantized = weight.transpose().quantize_rows(config.weights).transpose();
+        QuantizedLinear { weight: quantized, config, in_features, out_features }
+    }
+
+    /// Input feature count.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The quantization configuration.
+    #[must_use]
+    pub fn config(&self) -> MatmulQuantConfig {
+        self.config
+    }
+
+    /// The (already weight-quantized) weight matrix.
+    #[must_use]
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Forward pass: quantizes the activations with the activation scheme and multiplies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features`.
+    #[must_use]
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_features, "input feature mismatch");
+        let a = x.quantize_rows(self.config.activations);
+        a.matmul(&self.weight)
+    }
+
+    /// Changes the quantization configuration, re-quantizing the stored weights from the
+    /// currently stored (already quantized) values. Intended for sweeps where the weight
+    /// scheme stays fixed and only the activation scheme changes; re-quantizing weights
+    /// with the same scheme is idempotent.
+    pub fn set_activation_scheme(&mut self, scheme: QuantScheme) {
+        self.config.activations = scheme;
+    }
+
+    /// Number of stored weight parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.in_features * self.out_features
+    }
+
+    /// Weight storage in bytes under the configured weight scheme.
+    #[must_use]
+    pub fn weight_storage_bytes(&self) -> usize {
+        (self.parameter_count() as f64 * self.config.weights.average_bits_per_element() / 8.0).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| ((r * cols + c) as f32 * 0.091).sin() * 0.08)
+    }
+
+    fn activations(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let v = ((r * cols + c) as f32 * 0.17).cos() * 0.4;
+            if c % 77 == 5 {
+                v * 30.0
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn forward_shape_and_baseline_accuracy() {
+        let w = weights(128, 32);
+        let x = activations(4, 128);
+        let exact = x.matmul(&w);
+        let layer = QuantizedLinear::new(w, MatmulQuantConfig::BASELINE);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), (4, 32));
+        assert!(exact.mse(&y) < 1e-4);
+    }
+
+    #[test]
+    fn mx_plus_activations_beat_plain_mxfp4() {
+        let w = weights(256, 64);
+        let x = activations(8, 256);
+        let exact = x.matmul(&w);
+        let plain = QuantizedLinear::new(w.clone(), MatmulQuantConfig::uniform(QuantScheme::mxfp4())).forward(&x);
+        let plus = QuantizedLinear::new(w, MatmulQuantConfig::a_mxfp4_plus()).forward(&x);
+        assert!(exact.mse(&plus) < exact.mse(&plain));
+    }
+
+    #[test]
+    fn weight_quantization_is_idempotent_at_construction() {
+        let w = weights(64, 16);
+        let a = QuantizedLinear::new(w.clone(), MatmulQuantConfig::uniform(QuantScheme::mxfp4()));
+        let b = QuantizedLinear::new(a.weight().clone(), MatmulQuantConfig::uniform(QuantScheme::mxfp4()));
+        assert_eq!(a.weight(), b.weight());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let layer = QuantizedLinear::new(weights(64, 64), MatmulQuantConfig::uniform(QuantScheme::mxfp4()));
+        assert_eq!(layer.parameter_count(), 4096);
+        // 4.25 bits per element.
+        assert_eq!(layer.weight_storage_bytes(), 2176);
+    }
+
+    #[test]
+    fn activation_scheme_swap() {
+        let w = weights(64, 16);
+        let x = activations(2, 64);
+        let mut layer = QuantizedLinear::new(w, MatmulQuantConfig::a_mxfp4_plus());
+        let y_plus = layer.forward(&x);
+        layer.set_activation_scheme(QuantScheme::mxfp4());
+        let y_plain = layer.forward(&x);
+        assert_eq!(layer.config().activations, QuantScheme::mxfp4());
+        assert_ne!(y_plus, y_plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "input feature mismatch")]
+    fn forward_validates_input_width() {
+        let layer = QuantizedLinear::new(weights(8, 4), MatmulQuantConfig::BASELINE);
+        let x = Matrix::zeros(1, 9);
+        let _ = layer.forward(&x);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the tensor substrate: matmul algebra and quantized-layer
+//! invariants.
+
+use proptest::prelude::*;
+
+use mx_formats::quantize::{MatmulQuantConfig, QuantScheme};
+use mx_tensor::{kernels, Matrix, QuantizedLinear};
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0_f32..2.0, rows * cols).prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A B)^T == B^T A^T for the reference matmul.
+    #[test]
+    fn matmul_transpose_identity(a in small_matrix(5, 7), b in small_matrix(7, 3)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Matmul distributes over addition: (A + A') B == A B + A' B.
+    #[test]
+    fn matmul_distributes(a in small_matrix(4, 6), a2 in small_matrix(4, 6), b in small_matrix(6, 5)) {
+        let lhs = a.add(&a2).matmul(&b);
+        let rhs = a.matmul(&b).add(&a2.matmul(&b));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax output is a probability distribution for arbitrary finite logits.
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-30.0_f32..30.0, 1..40)) {
+        let p = kernels::softmax(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    /// KL divergence is non-negative and zero only for identical logits (up to shifts).
+    #[test]
+    fn kl_divergence_is_nonnegative(a in prop::collection::vec(-5.0_f32..5.0, 2..32), shift in -3.0_f32..3.0) {
+        let b: Vec<f32> = a.iter().map(|x| x + shift).collect();
+        // A constant shift leaves the distribution unchanged.
+        prop_assert!(kernels::kl_divergence_logits(&a, &b) < 1e-6);
+        let c: Vec<f32> = a.iter().map(|x| x * 0.5 + 0.1).collect();
+        prop_assert!(kernels::kl_divergence_logits(&a, &c) >= 0.0);
+    }
+
+    /// RoPE is an isometry: it never changes the norm of the head vector.
+    #[test]
+    fn rope_preserves_norm(values in prop::collection::vec(-3.0_f32..3.0, 4..=16), pos in 0usize..4096) {
+        prop_assume!(values.len() % 2 == 0);
+        let mut rotated = values.clone();
+        kernels::apply_rope(&mut rotated, pos, 10_000.0);
+        let n1: f32 = values.iter().map(|v| v * v).sum();
+        let n2: f32 = rotated.iter().map(|v| v * v).sum();
+        prop_assert!((n1 - n2).abs() <= 1e-3 * n1.max(1.0));
+    }
+
+    /// A quantized linear layer's output error against the exact product is bounded and
+    /// decreases (or stays equal) when moving from MXFP4 to MXFP8.
+    #[test]
+    fn quantized_linear_error_ordering(x in small_matrix(3, 64), w in small_matrix(64, 8)) {
+        let exact = x.matmul(&w);
+        let fp4 = QuantizedLinear::new(w.clone(), MatmulQuantConfig::uniform(QuantScheme::mxfp4())).forward(&x);
+        let fp8 = QuantizedLinear::new(w, MatmulQuantConfig::uniform(QuantScheme::mxfp8())).forward(&x);
+        prop_assert!(exact.mse(&fp8) <= exact.mse(&fp4) + 1e-9);
+    }
+}

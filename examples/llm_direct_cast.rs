@@ -1,0 +1,34 @@
+//! Direct-cast LLM quantization: run the transformer substrate with different formats and
+//! compare the perplexity proxy and task-accuracy proxy, as in the paper's Tables 2 and 3.
+//!
+//! Run with: `cargo run --release --example llm_direct_cast`
+
+use mxplus::formats::QuantScheme;
+use mxplus::llm::eval::{Dataset, EvalSettings, PerplexityEvaluator};
+use mxplus::llm::tasks::evaluate_task_suite;
+use mxplus::llm::{ModelConfig, ModelQuantConfig};
+
+fn main() {
+    let model = ModelConfig::llama31_8b();
+    println!("model analogue: {} (hidden {}, layers {})\n", model.name, model.hidden, model.layers);
+
+    let settings = EvalSettings { dataset: Dataset::Wiki2, seq_len: 48, total_tokens: 96, kl_gain: 1.0 };
+    let evaluator = PerplexityEvaluator::new(model.clone(), settings);
+
+    println!("{:>10} {:>14} {:>12} {:>16}", "format", "perplexity", "mean KL", "avg accuracy %");
+    for (name, quant) in [
+        ("BF16", ModelQuantConfig::BASELINE),
+        ("MXFP8", ModelQuantConfig::uniform(QuantScheme::mxfp8())),
+        ("MXFP6", ModelQuantConfig::uniform(QuantScheme::mxfp6())),
+        ("MXFP4+", ModelQuantConfig::uniform(QuantScheme::mxfp4_plus())),
+        ("A-MXFP4+", ModelQuantConfig::a_mxfp4_plus()),
+        ("MXFP4", ModelQuantConfig::uniform(QuantScheme::mxfp4())),
+    ] {
+        let ppl = evaluator.evaluate(quant);
+        let acc = evaluate_task_suite(&model, quant, 16).average_accuracy();
+        println!("{:>10} {:>14.3} {:>12.4} {:>16.2}", name, ppl.perplexity, ppl.mean_kl, acc);
+    }
+
+    println!("\nThe ordering mirrors the paper: MXFP4 degrades sharply, MXFP4+ recovers most of the gap,");
+    println!("and the 6/8-bit formats track the BF16 baseline.");
+}

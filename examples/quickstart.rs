@@ -1,0 +1,49 @@
+//! Quickstart: quantize an outlier-bearing activation block with MXFP4 and MXFP4+,
+//! then compare whole-tensor quantization error across the format family.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mxplus::formats::metrics::{mse, sqnr_db};
+use mxplus::formats::{ElementType, MxBlock, MxPlusBlock, QuantScheme};
+use mxplus::tensor::ActivationProfile;
+
+fn main() {
+    // --- 1. A single block with an outlier (the paper's Figure 4/6 example) ---
+    let block = [-0.27_f32, -0.19, 0.99, -0.20, -9.84, -0.39];
+    let mx = MxBlock::quantize(ElementType::E2M1, &block);
+    let mxp = MxPlusBlock::quantize(ElementType::E2M1, &block);
+    println!("input          : {block:?}");
+    println!("MXFP4          : {:?}", mx.dequantize());
+    println!("MXFP4+         : {:?}  (BM index {})", mxp.dequantize(), mxp.bm_index());
+    println!(
+        "block MSE      : MXFP4 {:.4}  vs  MXFP4+ {:.4}\n",
+        mse(&block, &mx.dequantize()),
+        mse(&block, &mxp.dequantize())
+    );
+
+    // --- 2. A calibrated activation tensor (channel-concentrated outliers) ---
+    let profile = ActivationProfile::llm(4096, 42);
+    let activations = profile.sample(8, 0);
+    println!("whole-tensor SQNR on calibrated LLM-like activations (8 x 4096):");
+    for scheme in [
+        QuantScheme::mxfp4(),
+        QuantScheme::mxfp4_plus(),
+        QuantScheme::mxfp4_pp(),
+        QuantScheme::mxfp6(),
+        QuantScheme::mxfp8(),
+        QuantScheme::Nvfp4,
+        QuantScheme::Nvfp4Plus,
+    ] {
+        let quantized: Vec<f32> = activations
+            .iter_rows()
+            .flat_map(|row| scheme.quantize_dequantize(row))
+            .collect();
+        println!(
+            "  {:>8}  {:>6.2} dB   ({:.2} bits/element)",
+            scheme.name(),
+            sqnr_db(activations.data(), &quantized),
+            scheme.average_bits_per_element()
+        );
+    }
+    println!("\nMXFP4+ recovers most of the outlier error of MXFP4 at a cost of only 0.25 bits/element.");
+}

@@ -1,0 +1,31 @@
+//! # mxplus
+//!
+//! Umbrella crate of the MX+ reproduction ("MX+: Pushing the Limits of Microscaling
+//! Formats for Efficient Large Language Model Serving", MICRO 2025). It re-exports the
+//! workspace crates under one roof so that the examples and integration tests can use a
+//! single dependency:
+//!
+//! * [`formats`] — the MX / MX+ / MX++ data formats and all BFP comparators.
+//! * [`tensor`] — the dense tensor substrate and calibrated synthetic distributions.
+//! * [`llm`] — the transformer inference substrate and quality-proxy evaluation.
+//! * [`baselines`] — SmoothQuant / QuaRot / AWQ / Atom / ANT / OliVe / Tender analogues.
+//! * [`gpu`] — the Tensor-Core, roofline, conversion, area/power and inference models.
+//! * [`dnn`] — the vision (DeiT / ResNet) substrate for Table 9.
+//!
+//! ```
+//! use mxplus::formats::QuantScheme;
+//!
+//! let row = vec![0.2_f32, -0.4, 7.9, 0.05, -0.3, 0.6, 0.1, -0.2];
+//! let q = QuantScheme::mxfp4_plus().quantize_dequantize(&row);
+//! assert_eq!(q.len(), row.len());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use mx_baselines as baselines;
+pub use mx_dnn as dnn;
+pub use mx_formats as formats;
+pub use mx_gpu_sim as gpu;
+pub use mx_llm as llm;
+pub use mx_tensor as tensor;

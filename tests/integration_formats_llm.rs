@@ -1,0 +1,86 @@
+//! Cross-crate integration tests: the formats crate driving the tensor and LLM substrates.
+
+use mxplus::formats::{QuantScheme, BLOCK_SIZE};
+use mxplus::llm::eval::{Dataset, EvalSettings, PerplexityEvaluator};
+use mxplus::llm::{ModelConfig, ModelQuantConfig, TransformerModel};
+use mxplus::tensor::{ActivationProfile, Matrix};
+
+fn fast_settings() -> EvalSettings {
+    EvalSettings { dataset: Dataset::Wiki2, seq_len: 16, total_tokens: 32, kl_gain: 1.0 }
+}
+
+#[test]
+fn end_to_end_quality_ordering_on_the_tiny_model() {
+    let evaluator = PerplexityEvaluator::new(ModelConfig::tiny_test(3), fast_settings());
+    let ppl = |s: QuantScheme| evaluator.evaluate(ModelQuantConfig::uniform(s)).perplexity;
+    let base = evaluator.evaluate(ModelQuantConfig::BASELINE).perplexity;
+    let p4 = ppl(QuantScheme::mxfp4());
+    let p4p = ppl(QuantScheme::mxfp4_plus());
+    let p8 = ppl(QuantScheme::mxfp8());
+    assert!(base <= p8);
+    assert!(p8 < p4);
+    assert!(p4p < p4, "MX+ must improve over MXFP4 end to end");
+}
+
+#[test]
+fn mx_plus_never_hurts_any_activation_tensor_from_the_profile() {
+    // Cross-crate property: for every sampled activation row, MXFP4+ error <= MXFP4 error.
+    let profile = ActivationProfile::llm(512, 9);
+    let acts = profile.sample(16, 4);
+    for row in acts.iter_rows() {
+        let e4 = mxplus::formats::metrics::mse(row, &QuantScheme::mxfp4().quantize_dequantize(row));
+        let e4p = mxplus::formats::metrics::mse(row, &QuantScheme::mxfp4_plus().quantize_dequantize(row));
+        assert!(e4p <= e4 + 1e-12);
+    }
+}
+
+#[test]
+fn transformer_runs_with_every_quantization_scheme() {
+    let cfg = ModelConfig::tiny_test(11);
+    let tokens: Vec<usize> = (0..12).map(|i| i * 5 % cfg.vocab).collect();
+    for scheme in [
+        QuantScheme::Bf16,
+        QuantScheme::mxfp4(),
+        QuantScheme::mxfp6(),
+        QuantScheme::mxfp8(),
+        QuantScheme::mxint8(),
+        QuantScheme::mxfp4_plus(),
+        QuantScheme::mxfp4_pp(),
+        QuantScheme::Nvfp4,
+        QuantScheme::Nvfp4Plus,
+        QuantScheme::TopK(2),
+    ] {
+        let model = TransformerModel::new(cfg.clone(), ModelQuantConfig::uniform(scheme));
+        let (logits, cache) = model.prefill(&tokens);
+        assert_eq!(logits.rows(), tokens.len(), "{scheme:?}");
+        assert!(logits.data().iter().all(|v| v.is_finite()), "{scheme:?}");
+        assert_eq!(cache.seq_len(), tokens.len());
+    }
+}
+
+#[test]
+fn matmul_quantization_matches_row_level_quantization() {
+    // The matrix-level API must agree with applying the scheme row by row.
+    let profile = ActivationProfile::llm(BLOCK_SIZE * 4, 21);
+    let a = profile.sample(3, 0);
+    let by_matrix = a.quantize_rows(QuantScheme::mxfp4_plus());
+    let by_row: Vec<f32> = a.iter_rows().flat_map(|r| QuantScheme::mxfp4_plus().quantize_dequantize(r)).collect();
+    assert_eq!(by_matrix.data(), &by_row[..]);
+    // And weights quantized along the reduction dimension keep the matmul shape.
+    let w = Matrix::from_fn(BLOCK_SIZE * 4, 8, |r, c| ((r + c) as f32 * 0.03).sin() * 0.1);
+    let out = a.matmul_quantized(&w, mxplus::formats::quantize::MatmulQuantConfig::a_mxfp4_plus());
+    assert_eq!(out.shape(), (3, 8));
+}
+
+#[test]
+fn baseline_scheme_and_quant_scheme_agree_on_mxfp4() {
+    // The Table 7 baseline wrapper's MXFP4 row must equal the native QuantScheme path.
+    let profile = ActivationProfile::llm(256, 33);
+    let a = profile.sample(4, 0);
+    let w = mxplus::tensor::synth::xavier_weights(256, 32, 1.0, 3);
+    let via_baseline = mxplus::baselines::BaselineScheme::Mxfp4.apply(&a, &w).output();
+    let via_scheme = a
+        .quantize_rows(QuantScheme::mxfp4())
+        .matmul(&w.transpose().quantize_rows(QuantScheme::mxfp4()).transpose());
+    assert_eq!(via_baseline.data(), via_scheme.data());
+}
