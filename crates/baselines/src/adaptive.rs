@@ -132,7 +132,7 @@ pub fn tender_quantize(values: &[f32], channels_per_group: usize) -> Vec<f32> {
     for chunk in values.chunks(channels_per_group) {
         let max_abs = chunk.iter().map(|v| v.abs()).fold(0.0_f32, f32::max);
         if max_abs == 0.0 {
-            out.extend(std::iter::repeat(0.0).take(chunk.len()));
+            out.extend(std::iter::repeat_n(0.0, chunk.len()));
             continue;
         }
         // Power-of-two scale per group (Tender's scale factors are powers of two apart so

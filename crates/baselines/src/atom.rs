@@ -125,7 +125,8 @@ mod tests {
 
         let plain_a = Matrix::from_vec(a.rows(), a.cols(), intq::quantize_per_row(a.data(), a.cols(), 4));
         let wt = w.transpose();
-        let plain_w = Matrix::from_vec(wt.rows(), wt.cols(), intq::quantize_per_row(wt.data(), wt.cols(), 4)).transpose();
+        let plain_w =
+            Matrix::from_vec(wt.rows(), wt.cols(), intq::quantize_per_row(wt.data(), wt.cols(), 4)).transpose();
         let plain_err = exact.mse(&plain_a.matmul(&plain_w));
 
         let (aq, wq) = atom_quantize(&a, &w, AtomConfig::default());

@@ -81,9 +81,7 @@ pub fn awq_quantize_weights(
     // Quantize along the reduction dimension (columns of the transposed matrix).
     let t = scaled.transpose();
     let quant_t = match format {
-        AwqWeightFormat::Int4 => {
-            Matrix::from_vec(t.rows(), t.cols(), intq::quantize_grouped(t.data(), 4, 128))
-        }
+        AwqWeightFormat::Int4 => Matrix::from_vec(t.rows(), t.cols(), intq::quantize_grouped(t.data(), 4, 128)),
         AwqWeightFormat::Mxfp4 => t.quantize_rows(QuantScheme::mxfp4()),
         AwqWeightFormat::Mxfp4Plus => t.quantize_rows(QuantScheme::mxfp4_plus()),
     };
@@ -135,9 +133,8 @@ mod tests {
         let exact = a.matmul(&w);
 
         let plain_t = w.transpose();
-        let plain =
-            Matrix::from_vec(plain_t.rows(), plain_t.cols(), intq::quantize_grouped(plain_t.data(), 4, 128))
-                .transpose();
+        let plain = Matrix::from_vec(plain_t.rows(), plain_t.cols(), intq::quantize_grouped(plain_t.data(), 4, 128))
+            .transpose();
         let plain_err = exact.mse(&a.matmul(&plain));
 
         let awq = awq_quantize_weights(&a, &w, 0.5, AwqWeightFormat::Int4);

@@ -8,7 +8,7 @@
 /// Fake-quantizes a slice with a single symmetric scale: `s = max|x| / (2^(bits-1) - 1)`.
 #[must_use]
 pub fn quantize_symmetric(values: &[f32], bits: u32) -> Vec<f32> {
-    assert!(bits >= 2 && bits <= 8, "bits must be in 2..=8");
+    assert!((2..=8).contains(&bits), "bits must be in 2..=8");
     let qmax = ((1i32 << (bits - 1)) - 1) as f32;
     let max_abs = values.iter().map(|v| v.abs()).filter(|v| v.is_finite()).fold(0.0_f32, f32::max);
     if max_abs == 0.0 {
@@ -43,7 +43,7 @@ pub fn quantize_grouped(values: &[f32], bits: u32, group: usize) -> Vec<f32> {
 /// Panics if `data.len()` is not a multiple of `cols`.
 #[must_use]
 pub fn quantize_per_row(data: &[f32], cols: usize, bits: u32) -> Vec<f32> {
-    assert!(cols > 0 && data.len() % cols == 0, "matrix shape mismatch");
+    assert!(cols > 0 && data.len().is_multiple_of(cols), "matrix shape mismatch");
     let mut out = Vec::with_capacity(data.len());
     for row in data.chunks(cols) {
         out.extend(quantize_symmetric(row, bits));

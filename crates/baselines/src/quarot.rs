@@ -70,13 +70,12 @@ pub fn quarot(activations: &Matrix, weights: &Matrix, precision: QuarotPrecision
     let a_rot = activations.matmul(&q);
     let w_rot = q.transpose().matmul(weights);
     match precision {
-        QuarotPrecision::Int4 => (
-            Matrix::from_vec(a_rot.rows(), a_rot.cols(), intq::quantize_per_row(a_rot.data(), a_rot.cols(), 4)),
-            {
+        QuarotPrecision::Int4 => {
+            (Matrix::from_vec(a_rot.rows(), a_rot.cols(), intq::quantize_per_row(a_rot.data(), a_rot.cols(), 4)), {
                 let t = w_rot.transpose();
                 Matrix::from_vec(t.rows(), t.cols(), intq::quantize_per_row(t.data(), t.cols(), 4)).transpose()
-            },
-        ),
+            })
+        }
         QuarotPrecision::Mxfp4 => (
             a_rot.quantize_rows(QuantScheme::mxfp4()),
             w_rot.transpose().quantize_rows(QuantScheme::mxfp4()).transpose(),
@@ -178,7 +177,8 @@ mod tests {
         // Plain per-row INT4 without rotation.
         let a_int4 = Matrix::from_vec(a.rows(), a.cols(), intq::quantize_per_row(a.data(), a.cols(), 4));
         let wt = w.transpose();
-        let w_int4 = Matrix::from_vec(wt.rows(), wt.cols(), intq::quantize_per_row(wt.data(), wt.cols(), 4)).transpose();
+        let w_int4 =
+            Matrix::from_vec(wt.rows(), wt.cols(), intq::quantize_per_row(wt.data(), wt.cols(), 4)).transpose();
         let plain_err = exact.mse(&a_int4.matmul(&w_int4));
 
         let (aq, wq) = quarot(&a, &w, QuarotPrecision::Int4, 7);

@@ -252,11 +252,7 @@ mod tests {
             BaselineScheme::Mxfp4,
         ] {
             let e = scheme.output_mse(&a, &w);
-            assert!(
-                reference <= e * 1.05,
-                "{}: MXFP4+ ({reference}) should not lose to {e}",
-                scheme.name()
-            );
+            assert!(reference <= e * 1.05, "{}: MXFP4+ ({reference}) should not lose to {e}", scheme.name());
         }
     }
 

@@ -15,11 +15,8 @@ fn main() {
         let cells: Vec<f64> = schemes
             .iter()
             .map(|(_, s)| {
-                let quant = if s.is_lossless_baseline() {
-                    ModelQuantConfig::BASELINE
-                } else {
-                    ModelQuantConfig::uniform(*s)
-                };
+                let quant =
+                    if s.is_lossless_baseline() { ModelQuantConfig::BASELINE } else { ModelQuantConfig::uniform(*s) };
                 evaluator.evaluate(quant).perplexity
             })
             .collect();

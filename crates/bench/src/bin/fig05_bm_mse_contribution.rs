@@ -8,10 +8,7 @@ use mx_llm::ModelConfig;
 use mx_tensor::ActivationProfile;
 
 fn main() {
-    table::header(
-        "Figure 5: contribution to MSE (%) under MXFP4",
-        &["Largest error", "BM element"],
-    );
+    table::header("Figure 5: contribution to MSE (%) under MXFP4", &["Largest error", "BM element"]);
     for cfg in [ModelConfig::opt_66b(), ModelConfig::llama31_8b()] {
         let profile = ActivationProfile::new(cfg.hidden, 0.25, cfg.outliers, cfg.seed + 16);
         let acts = profile.sample(128, 16); // "Layer 16" sample

@@ -15,20 +15,15 @@ fn main() {
         &["prefill", "decode", "total"],
     );
     let w = InferenceWorkload::paper_default(64);
-    for (name, cfg) in [
-        ("MXFP4", GemmConfig::MXFP4),
-        ("A-MXFP4+", GemmConfig::A_MXFP4_PLUS_SW),
-        ("MXFP8", GemmConfig::MXFP8),
-    ] {
+    for (name, cfg) in
+        [("MXFP4", GemmConfig::MXFP4), ("A-MXFP4+", GemmConfig::A_MXFP4_PLUS_SW), ("MXFP8", GemmConfig::MXFP8)]
+    {
         let t = model.stage_times(w, cfg);
         table::row(name, &[t.prefill_s * 1e3, t.decode_s * 1e3, t.total_s() * 1e3]);
     }
 
     // (b) Normalized execution time across output lengths.
-    table::header(
-        "Figure 11(b): execution time normalized to MXFP4, by output length",
-        &["32", "64", "128", "256"],
-    );
+    table::header("Figure 11(b): execution time normalized to MXFP4, by output length", &["32", "64", "128", "256"]);
     for (name, cfg) in [("A-MXFP4+", GemmConfig::A_MXFP4_PLUS_SW), ("MXFP8", GemmConfig::MXFP8)] {
         let cells: Vec<f64> = [32usize, 64, 128, 256]
             .iter()

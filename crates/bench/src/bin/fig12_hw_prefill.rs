@@ -6,10 +6,7 @@ use mx_gpu_sim::inference::{InferenceModel, InferenceWorkload, PerfModelConfig};
 use mx_gpu_sim::GpuSpec;
 
 fn main() {
-    table::header(
-        "Figure 12: MXFP4+ (hardware) prefill time normalized to MXFP4, 2048 input tokens",
-        &["normalized"],
-    );
+    table::header("Figure 12: MXFP4+ (hardware) prefill time normalized to MXFP4, 2048 input tokens", &["normalized"]);
     let mut ratios = Vec::new();
     for cfg in [PerfModelConfig::llama2_7b(), PerfModelConfig::llama2_13b(), PerfModelConfig::llama31_8b()] {
         let model = InferenceModel::new(GpuSpec::rtx5090(), cfg);

@@ -21,16 +21,16 @@ fn main() {
         table::row(&cfg.name, &cells);
     }
 
-    table::header("Figure 14 (bars): % of 3-sigma outliers covered by the MXFP6 set", &["top-1", "top-2", "top-3", "top-4"]);
+    table::header(
+        "Figure 14 (bars): % of 3-sigma outliers covered by the MXFP6 set",
+        &["top-1", "top-2", "top-3", "top-4"],
+    );
     for cfg in [ModelConfig::llama31_8b(), ModelConfig::mistral_7b()] {
         let profile = ActivationProfile::new(cfg.hidden, 0.25, cfg.outliers, cfg.seed);
         let acts = profile.sample(64, 0);
         let cells: Vec<f64> = (1..=4)
             .map(|k| {
-                let covered: f64 = acts
-                    .iter_rows()
-                    .map(|row| quantize_row_topk(k, row).outlier_coverage)
-                    .sum::<f64>()
+                let covered: f64 = acts.iter_rows().map(|row| quantize_row_topk(k, row).outlier_coverage).sum::<f64>()
                     / acts.rows() as f64;
                 100.0 * covered
             })

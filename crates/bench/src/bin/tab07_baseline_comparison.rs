@@ -12,7 +12,8 @@ use mx_tensor::{synth, ActivationProfile};
 
 fn main() {
     // Model analogues with power-of-two hidden widths (QuaRot's Hadamard rotation needs one).
-    let models = [ModelConfig::opt_66b(), ModelConfig::llama2_7b(), ModelConfig::llama31_8b(), ModelConfig::mistral_7b()];
+    let models =
+        [ModelConfig::opt_66b(), ModelConfig::llama2_7b(), ModelConfig::llama31_8b(), ModelConfig::mistral_7b()];
     let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
     table::header("Table 7: perplexity proxy on WikiText-2-like operands", &names);
 

@@ -30,18 +30,12 @@ fn main() {
     }
 
     // Part 2: MXFP8 activations with MXFP4 / MXFP4+ weights, at the model level.
-    table::header(
-        "Table 8 (right): perplexity with MXFP8 activations",
-        &["W-MXFP4", "W-MXFP4+"],
-    );
+    table::header("Table 8 (right): perplexity with MXFP8 activations", &["W-MXFP4", "W-MXFP4+"]);
     for model in [ModelConfig::llama31_8b(), ModelConfig::mistral_7b()] {
         let evaluator = PerplexityEvaluator::new(model.clone(), settings::quality(Dataset::Wiki2));
-        let w4 = evaluator
-            .evaluate(ModelQuantConfig::mixed(QuantScheme::mxfp8(), QuantScheme::mxfp4()))
-            .perplexity;
-        let w4p = evaluator
-            .evaluate(ModelQuantConfig::mixed(QuantScheme::mxfp8(), QuantScheme::mxfp4_plus()))
-            .perplexity;
+        let w4 = evaluator.evaluate(ModelQuantConfig::mixed(QuantScheme::mxfp8(), QuantScheme::mxfp4())).perplexity;
+        let w4p =
+            evaluator.evaluate(ModelQuantConfig::mixed(QuantScheme::mxfp8(), QuantScheme::mxfp4_plus())).perplexity;
         table::row(&model.name, &[w4, w4p]);
     }
     println!("\nPaper shape: MXFP4+ weights improve on MXFP4 weights in both settings, and AWQ composes");

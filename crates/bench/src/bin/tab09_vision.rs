@@ -8,10 +8,7 @@ use mx_formats::quantize::MatmulQuantConfig;
 use mx_formats::QuantScheme;
 
 fn main() {
-    table::header(
-        "Table 9: top-1 accuracy (%) proxy",
-        &["FP32", "DC MXFP4", "DC MXFP4+", "QAT MXFP4", "QAT MXFP4+"],
-    );
+    table::header("Table 9: top-1 accuracy (%) proxy", &["FP32", "DC MXFP4", "DC MXFP4+", "QAT MXFP4", "QAT MXFP4+"]);
     for kind in VisionModelKind::ALL {
         let fp32 = 100.0 * kind.fp32_accuracy();
         let cell = |scheme: QuantScheme, mode: VisionEvalMode| {

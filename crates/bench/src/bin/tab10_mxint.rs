@@ -7,21 +7,14 @@ use mx_llm::eval::{Dataset, PerplexityEvaluator};
 use mx_llm::{ModelConfig, ModelQuantConfig};
 
 fn main() {
-    table::header(
-        "Table 10: perplexity of integer microscaling formats",
-        &["MXINT8+", "MXINT8", "MXINT4+", "MXINT4"],
-    );
+    table::header("Table 10: perplexity of integer microscaling formats", &["MXINT8+", "MXINT8", "MXINT4+", "MXINT4"]);
     for model in [ModelConfig::llama31_8b(), ModelConfig::mistral_7b()] {
         let evaluator = PerplexityEvaluator::new(model.clone(), settings::quality(Dataset::Wiki2));
-        let cells: Vec<f64> = [
-            QuantScheme::mxint8_plus(),
-            QuantScheme::mxint8(),
-            QuantScheme::mxint4_plus(),
-            QuantScheme::mxint4(),
-        ]
-        .iter()
-        .map(|&s| evaluator.evaluate(ModelQuantConfig::uniform(s)).perplexity)
-        .collect();
+        let cells: Vec<f64> =
+            [QuantScheme::mxint8_plus(), QuantScheme::mxint8(), QuantScheme::mxint4_plus(), QuantScheme::mxint4()]
+                .iter()
+                .map(|&s| evaluator.evaluate(ModelQuantConfig::uniform(s)).perplexity)
+                .collect();
         table::row(&model.name, &cells);
     }
     println!("\nPaper shape: the extra fraction bit barely moves MXINT8 but clearly helps MXINT4.");

@@ -13,19 +13,14 @@ fn main() {
     );
     for model in [ModelConfig::llama31_8b(), ModelConfig::mistral_7b()] {
         // A profile with denser outliers so that co-location actually occurs.
-        let spec = mx_tensor::OutlierSpec {
-            channel_fraction: model.outliers.channel_fraction * 2.0,
-            ..model.outliers
-        };
+        let spec = mx_tensor::OutlierSpec { channel_fraction: model.outliers.channel_fraction * 2.0, ..model.outliers };
         let profile = ActivationProfile::new(model.hidden, 0.25, spec, model.seed ^ 0x12);
         let acts = profile.sample(64, 0);
         let rows = 64;
 
         let sqnr = |data: &[f32]| {
-            let q: Vec<f32> = data
-                .chunks(model.hidden)
-                .flat_map(|row| QuantScheme::mxfp4_plus().quantize_dequantize(row))
-                .collect();
+            let q: Vec<f32> =
+                data.chunks(model.hidden).flat_map(|row| QuantScheme::mxfp4_plus().quantize_dequantize(row)).collect();
             mx_formats::metrics::sqnr_db(data, &q)
         };
         let baseline = sqnr(acts.data());

@@ -1,0 +1,43 @@
+//! Smoke test: a representative subset of the figure/table harness binaries must run to
+//! completion. This is the cheapest end-to-end check that the whole stack — formats,
+//! tensor substrate, LLM/baseline/GPU models and the harness glue — stays wired together.
+//!
+//! The binaries are invoked through `cargo run --release` (the tier-1 gate builds release
+//! first, so the artifacts are already cached by the time tests run; a debug-profile run
+//! of the perplexity table would take tens of minutes). The three are launched
+//! concurrently so wall-clock cost is dominated by the slowest (tab03, ~3 min).
+
+use std::process::{Child, Command, Stdio};
+
+/// One experiment from each tier of the evaluation: a format-error figure (Figure 2), the
+/// headline perplexity table (Table 3) and the baseline-comparison table (Table 7).
+const SMOKE_BINARIES: &[&str] = &["fig02_bfp_variants", "tab03_perplexity", "tab07_baseline_comparison"];
+
+fn spawn(binary: &str) -> Child {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let workspace_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    Command::new(cargo)
+        .args(["run", "--release", "--quiet", "-p", "mx-bench", "--bin", binary])
+        .current_dir(workspace_root)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| panic!("failed to spawn `cargo run --bin {binary}`: {e}"))
+}
+
+#[test]
+fn representative_harness_binaries_exit_zero() {
+    let children: Vec<(&str, Child)> = SMOKE_BINARIES.iter().map(|b| (*b, spawn(b))).collect();
+    for (binary, child) in children {
+        let output = child.wait_with_output().unwrap_or_else(|e| panic!("failed to wait on {binary}: {e}"));
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            output.status.success(),
+            "{binary} exited with {:?}\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+            output.status.code(),
+        );
+        // Every harness binary prints at least one table header.
+        assert!(stdout.contains("==="), "{binary} produced no table output:\n{stdout}");
+    }
+}

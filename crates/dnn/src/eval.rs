@@ -127,8 +127,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
-            + 0.254_829_592)
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t + 0.254_829_592)
             * t
             * (-x * x).exp();
     sign * y
@@ -141,7 +140,12 @@ mod tests {
 
     #[test]
     fn baseline_reproduces_fp32_anchor() {
-        let r = evaluate_vision_model(VisionModelKind::ResNet18, MatmulQuantConfig::BASELINE, VisionEvalMode::DirectCast, 1);
+        let r = evaluate_vision_model(
+            VisionModelKind::ResNet18,
+            MatmulQuantConfig::BASELINE,
+            VisionEvalMode::DirectCast,
+            1,
+        );
         assert!((r.accuracy_percent - 69.18).abs() < 0.2);
         assert_eq!(r.relative_logit_error, 0.0);
     }

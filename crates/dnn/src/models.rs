@@ -21,12 +21,8 @@ pub enum VisionModelKind {
 
 impl VisionModelKind {
     /// All Table 9 models in order.
-    pub const ALL: [VisionModelKind; 4] = [
-        VisionModelKind::DeiTTiny,
-        VisionModelKind::DeiTSmall,
-        VisionModelKind::ResNet18,
-        VisionModelKind::ResNet34,
-    ];
+    pub const ALL: [VisionModelKind; 4] =
+        [VisionModelKind::DeiTTiny, VisionModelKind::DeiTSmall, VisionModelKind::ResNet18, VisionModelKind::ResNet34];
 
     /// Display name.
     #[must_use]
@@ -165,11 +161,7 @@ impl VisionModel {
     /// Classifies a synthetic image, returning class logits.
     #[must_use]
     pub fn forward(&self, image: &FeatureMap) -> Vec<f32> {
-        let features = if self.kind.is_transformer() {
-            self.vit_features(image)
-        } else {
-            self.cnn_features(image)
-        };
+        let features = if self.kind.is_transformer() { self.vit_features(image) } else { self.cnn_features(image) };
         let f = Matrix::from_vec(1, features.len(), features);
         f.matmul_quantized(&self.classifier, self.quant).row(0).to_vec()
     }
@@ -219,9 +211,8 @@ impl VisionModel {
         let heads = 4;
         let head_dim = dim / heads;
         // Pre-norm.
-        let normed = Matrix::from_fn(tokens.rows(), dim, |r, c| {
-            kernels::rmsnorm(tokens.row(r), &vec![1.0; dim], 1e-6)[c]
-        });
+        let normed =
+            Matrix::from_fn(tokens.rows(), dim, |r, c| kernels::rmsnorm(tokens.row(r), &vec![1.0; dim], 1e-6)[c]);
         let qkv = normed.matmul_quantized(&self.attn_qkv[layer], self.quant);
         let scale = 1.0 / (head_dim as f32).sqrt();
         let mut attn_out = Matrix::zeros(tokens.rows(), dim);
@@ -230,10 +221,7 @@ impl VisionModel {
             for i in 0..tokens.rows() {
                 let mut scores: Vec<f32> = (0..tokens.rows())
                     .map(|j| {
-                        (0..head_dim)
-                            .map(|d| qkv.get(i, off + d) * qkv.get(j, dim + off + d))
-                            .sum::<f32>()
-                            * scale
+                        (0..head_dim).map(|d| qkv.get(i, off + d) * qkv.get(j, dim + off + d)).sum::<f32>() * scale
                     })
                     .collect();
                 kernels::softmax_inplace(&mut scores);

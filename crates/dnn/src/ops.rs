@@ -27,7 +27,12 @@ impl FeatureMap {
 
     /// Creates a feature map from a generator `f(channel, y, x)`.
     #[must_use]
-    pub fn from_fn(channels: usize, height: usize, width: usize, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+    pub fn from_fn(
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f32,
+    ) -> Self {
         let mut data = Vec::with_capacity(channels * height * width);
         for c in 0..channels {
             for y in 0..height {
@@ -82,7 +87,14 @@ pub struct Conv2d {
 impl Conv2d {
     /// Creates a convolution with deterministic Xavier weights.
     #[must_use]
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize, seed: u64) -> Self {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
         let weight = mx_tensor::synth::xavier_weights(kernel * kernel * in_channels, out_channels, 1.4, seed);
         Conv2d { in_channels, out_channels, kernel, stride, padding, weight }
     }
@@ -131,7 +143,9 @@ impl Conv2d {
 pub fn global_avg_pool(input: &FeatureMap) -> Vec<f32> {
     let hw = (input.height * input.width) as f32;
     (0..input.channels)
-        .map(|c| input.data[c * input.height * input.width..(c + 1) * input.height * input.width].iter().sum::<f32>() / hw)
+        .map(|c| {
+            input.data[c * input.height * input.width..(c + 1) * input.height * input.width].iter().sum::<f32>() / hw
+        })
         .collect()
 }
 
@@ -182,9 +196,7 @@ mod tests {
     use mx_formats::QuantScheme;
 
     fn image(channels: usize, size: usize) -> FeatureMap {
-        FeatureMap::from_fn(channels, size, size, |c, y, x| {
-            (((c * 31 + y * 7 + x) % 17) as f32 - 8.0) * 0.1
-        })
+        FeatureMap::from_fn(channels, size, size, |c, y, x| (((c * 31 + y * 7 + x) % 17) as f32 - 8.0) * 0.1)
     }
 
     #[test]

@@ -43,11 +43,7 @@ impl MxBlock {
     pub fn quantize(element: ElementType, values: &[f32]) -> Self {
         let shared = scale::shared_exponent(values, element.emax());
         match shared {
-            None => MxBlock {
-                element,
-                scale: SharedScale::ZERO_BLOCK,
-                codes: vec![0; values.len()],
-            },
+            None => MxBlock { element, scale: SharedScale::ZERO_BLOCK, codes: vec![0; values.len()] },
             Some(exp) => {
                 let scale = SharedScale::from_exponent(exp);
                 let s = scale.value();

@@ -43,13 +43,8 @@ pub enum ElementType {
 
 impl ElementType {
     /// All floating-point element types, in increasing bit width.
-    pub const FP_TYPES: [ElementType; 5] = [
-        ElementType::E2M1,
-        ElementType::E2M3,
-        ElementType::E3M2,
-        ElementType::E4M3,
-        ElementType::E5M2,
-    ];
+    pub const FP_TYPES: [ElementType; 5] =
+        [ElementType::E2M1, ElementType::E2M3, ElementType::E3M2, ElementType::E4M3, ElementType::E5M2];
 
     /// Total number of bits per element.
     #[must_use]

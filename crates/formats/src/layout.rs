@@ -17,10 +17,10 @@ use crate::scale::SharedScale;
 /// order within each byte).
 #[must_use]
 pub fn pack_codes(codes: &[u8], bits: u32) -> Vec<u8> {
-    assert!(bits >= 1 && bits <= 8, "element width must be between 1 and 8 bits");
+    assert!((1..=8).contains(&bits), "element width must be between 1 and 8 bits");
     let total_bits = codes.len() * bits as usize;
     let mut out = vec![0u8; total_bits.div_ceil(8)];
-    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 } as u16;
+    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 };
     for (i, &code) in codes.iter().enumerate() {
         let value = u16::from(code) & mask;
         let bit_pos = i * bits as usize;
@@ -40,12 +40,12 @@ pub fn pack_codes(codes: &[u8], bits: u32) -> Vec<u8> {
 ///
 /// Returns [`FormatError::PackedLength`] if the buffer is too short.
 pub fn unpack_codes(packed: &[u8], bits: u32, count: usize) -> Result<Vec<u8>, FormatError> {
-    assert!(bits >= 1 && bits <= 8, "element width must be between 1 and 8 bits");
+    assert!((1..=8).contains(&bits), "element width must be between 1 and 8 bits");
     let needed = (count * bits as usize).div_ceil(8);
     if packed.len() < needed {
         return Err(FormatError::PackedLength { expected: needed, actual: packed.len() });
     }
-    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 } as u16;
+    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 };
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let bit_pos = i * bits as usize;
@@ -104,14 +104,7 @@ impl PackedMxPlusRow {
             metadata.push(b.metadata_byte());
             len += b.len();
         }
-        PackedMxPlusRow {
-            element,
-            block_size,
-            len,
-            elements: pack_codes(&all_codes, element.bits()),
-            scales,
-            metadata,
-        }
+        PackedMxPlusRow { element, block_size, len, elements: pack_codes(&all_codes, element.bits()), scales, metadata }
     }
 
     /// Unpacks back into MX+ blocks.
@@ -129,13 +122,7 @@ impl PackedMxPlusRow {
         for (i, chunk) in codes.chunks(self.block_size).enumerate() {
             let scale = SharedScale::from_bits(self.scales[i]);
             let meta = self.metadata[i];
-            blocks.push(MxPlusBlock::from_parts(
-                self.element,
-                scale,
-                meta & 0x1f,
-                meta >> 5,
-                chunk.to_vec(),
-            )?);
+            blocks.push(MxPlusBlock::from_parts(self.element, scale, meta & 0x1f, meta >> 5, chunk.to_vec())?);
         }
         Ok(blocks)
     }

@@ -12,10 +12,15 @@ use crate::element::ElementType;
 pub fn mse(reference: &[f32], quantized: &[f32]) -> f64 {
     assert_eq!(reference.len(), quantized.len(), "length mismatch");
     assert!(!reference.is_empty(), "empty input");
-    reference.iter().zip(quantized).map(|(a, b)| {
-        let d = f64::from(a - b);
-        d * d
-    }).sum::<f64>() / reference.len() as f64
+    reference
+        .iter()
+        .zip(quantized)
+        .map(|(a, b)| {
+            let d = f64::from(a - b);
+            d * d
+        })
+        .sum::<f64>()
+        / reference.len() as f64
 }
 
 /// Root mean squared error.
@@ -37,10 +42,14 @@ pub fn max_abs_error(reference: &[f32], quantized: &[f32]) -> f32 {
 #[must_use]
 pub fn sqnr_db(reference: &[f32], quantized: &[f32]) -> f64 {
     let signal: f64 = reference.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
-    let noise: f64 = reference.iter().zip(quantized).map(|(a, b)| {
-        let d = f64::from(a - b);
-        d * d
-    }).sum();
+    let noise: f64 = reference
+        .iter()
+        .zip(quantized)
+        .map(|(a, b)| {
+            let d = f64::from(a - b);
+            d * d
+        })
+        .sum();
     if noise == 0.0 {
         f64::INFINITY
     } else {
@@ -110,17 +119,16 @@ pub fn three_sigma_outliers(values: &[f32]) -> Vec<usize> {
     }
     let n = values.len() as f64;
     let mean = values.iter().map(|&v| f64::from(v.abs())).sum::<f64>() / n;
-    let var = values.iter().map(|&v| {
-        let d = f64::from(v.abs()) - mean;
-        d * d
-    }).sum::<f64>() / n;
-    let threshold = mean + 3.0 * var.sqrt();
-    values
+    let var = values
         .iter()
-        .enumerate()
-        .filter(|(_, &v)| f64::from(v.abs()) > threshold)
-        .map(|(i, _)| i)
-        .collect()
+        .map(|&v| {
+            let d = f64::from(v.abs()) - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let threshold = mean + 3.0 * var.sqrt();
+    values.iter().enumerate().filter(|(_, &v)| f64::from(v.abs()) > threshold).map(|(i, _)| i).collect()
 }
 
 /// Summary of outlier structure in a (tokens x channels) activation matrix, used by the
@@ -172,11 +180,7 @@ pub fn outlier_stats(data: &[f32], rows: usize, cols: usize) -> OutlierStats {
         per_channel_counts: per_channel,
         total: outliers.len(),
         blocks_with_outliers: if total_blocks == 0 { 0.0 } else { blocks_with as f64 / total_blocks as f64 },
-        multi_outlier_block_fraction: if blocks_with == 0 {
-            0.0
-        } else {
-            blocks_multi as f64 / blocks_with as f64
-        },
+        multi_outlier_block_fraction: if blocks_with == 0 { 0.0 } else { blocks_multi as f64 / blocks_with as f64 },
     }
 }
 

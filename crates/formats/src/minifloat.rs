@@ -130,11 +130,7 @@ pub fn encode_int(et: ElementType, x: f32) -> u8 {
     let bits = et.bits();
     let max_int = (1i32 << (bits - 1)) - 1;
     let scaled = (x * (1u32 << et.man_bits()) as f32).round_ties_even();
-    let clamped = if scaled.is_nan() {
-        0
-    } else {
-        scaled.clamp(-(max_int as f32), max_int as f32) as i32
-    };
+    let clamped = if scaled.is_nan() { 0 } else { scaled.clamp(-(max_int as f32), max_int as f32) as i32 };
     (clamped as u32 & ((1u32 << bits) - 1)) as u8
 }
 
@@ -149,11 +145,7 @@ pub fn decode_int(et: ElementType, code: u8) -> f32 {
     let bits = et.bits();
     let raw = u32::from(code) & ((1 << bits) - 1);
     // Sign extend.
-    let value = if raw & (1 << (bits - 1)) != 0 {
-        (raw as i32) - (1 << bits)
-    } else {
-        raw as i32
-    };
+    let value = if raw & (1 << (bits - 1)) != 0 { (raw as i32) - (1 << bits) } else { raw as i32 };
     value as f32 / (1u32 << et.man_bits()) as f32
 }
 

@@ -54,11 +54,7 @@ impl MsfpFormat {
     pub fn quantize_block(&self, values: &[f32]) -> MsfpBlock {
         let max_abs = values.iter().map(|v| v.abs()).filter(|v| v.is_finite()).fold(0.0_f32, f32::max);
         if max_abs == 0.0 {
-            return MsfpBlock {
-                format: *self,
-                scale: SharedScale::ZERO_BLOCK,
-                codes: vec![0; values.len()],
-            };
+            return MsfpBlock { format: *self, scale: SharedScale::ZERO_BLOCK, codes: vec![0; values.len()] };
         }
         let shared_exp = floor_log2(max_abs);
         let scale = SharedScale::from_exponent(shared_exp);

@@ -103,7 +103,7 @@ impl MxFormat {
     ///
     /// Returns [`FormatError::Alignment`] if `data.len()` is not a multiple of `cols`.
     pub fn quantize_dequantize_matrix(&self, data: &[f32], cols: usize) -> Result<Vec<f32>, FormatError> {
-        if cols == 0 || data.len() % cols != 0 {
+        if cols == 0 || !data.len().is_multiple_of(cols) {
             return Err(FormatError::Alignment { len: data.len(), block: cols.max(1) });
         }
         let mut out = Vec::with_capacity(data.len());

@@ -87,10 +87,8 @@ pub struct AreaPowerReport {
 #[must_use]
 pub fn table5_report() -> AreaPowerReport {
     let components = mx_plus_components();
-    let rows: Vec<(String, String, f64, f64)> = components
-        .iter()
-        .map(|c| (c.name.to_string(), c.configuration.clone(), c.area_mm2(), c.power_mw()))
-        .collect();
+    let rows: Vec<(String, String, f64, f64)> =
+        components.iter().map(|c| (c.name.to_string(), c.configuration.clone(), c.area_mm2(), c.power_mw())).collect();
     let total_area_mm2 = components.iter().map(Component::area_mm2).sum();
     let total_power_mw = components.iter().map(Component::power_mw).sum();
     AreaPowerReport { components: rows, total_area_mm2, total_power_mw }

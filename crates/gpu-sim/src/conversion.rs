@@ -131,7 +131,7 @@ mod tests {
         assert!(small > large, "small-M overhead {small} must exceed large-M overhead {large}");
         // Paper: 1.08 at M=8, 1.01 at M=4096.
         assert!(small > 1.02 && small < 1.12, "small-M ratio {small}");
-        assert!(large >= 1.0 && large < 1.05, "large-M ratio {large}");
+        assert!((1.0..1.05).contains(&large), "large-M ratio {large}");
     }
 
     #[test]

@@ -43,25 +43,16 @@ pub struct GemmConfig {
 
 impl GemmConfig {
     /// Both operands BF16 (the paper's performance baseline).
-    pub const BF16: GemmConfig = GemmConfig {
-        activations: OperandFormat::Bf16,
-        weights: OperandFormat::Bf16,
-        mx_plus_path: MxPlusPath::None,
-    };
+    pub const BF16: GemmConfig =
+        GemmConfig { activations: OperandFormat::Bf16, weights: OperandFormat::Bf16, mx_plus_path: MxPlusPath::None };
 
     /// Uniform MXFP4 for both operands.
-    pub const MXFP4: GemmConfig = GemmConfig {
-        activations: OperandFormat::Mxfp4,
-        weights: OperandFormat::Mxfp4,
-        mx_plus_path: MxPlusPath::None,
-    };
+    pub const MXFP4: GemmConfig =
+        GemmConfig { activations: OperandFormat::Mxfp4, weights: OperandFormat::Mxfp4, mx_plus_path: MxPlusPath::None };
 
     /// Uniform MXFP8.
-    pub const MXFP8: GemmConfig = GemmConfig {
-        activations: OperandFormat::Mxfp8,
-        weights: OperandFormat::Mxfp8,
-        mx_plus_path: MxPlusPath::None,
-    };
+    pub const MXFP8: GemmConfig =
+        GemmConfig { activations: OperandFormat::Mxfp8, weights: OperandFormat::Mxfp8, mx_plus_path: MxPlusPath::None };
 
     /// A-MXFP4+ with software integration: MXFP4+ activations, MXFP4 weights.
     pub const A_MXFP4_PLUS_SW: GemmConfig = GemmConfig {
@@ -85,11 +76,8 @@ impl GemmConfig {
     };
 
     /// A8W4: MXFP8 activations with MXFP4 weights.
-    pub const A8W4: GemmConfig = GemmConfig {
-        activations: OperandFormat::Mxfp8,
-        weights: OperandFormat::Mxfp4,
-        mx_plus_path: MxPlusPath::None,
-    };
+    pub const A8W4: GemmConfig =
+        GemmConfig { activations: OperandFormat::Mxfp8, weights: OperandFormat::Mxfp4, mx_plus_path: MxPlusPath::None };
 
     /// The effective MX+ path: `None` when neither operand is an MX+ format.
     #[must_use]

@@ -77,10 +77,10 @@ impl PerfModelConfig {
     pub fn layer_gemms(&self) -> Vec<(usize, usize)> {
         // (n, k) pairs: output width and reduction width.
         let mut gemms = vec![
-            (self.hidden, self.hidden),  // Wq
-            (self.kv_dim, self.hidden),  // Wk
-            (self.kv_dim, self.hidden),  // Wv
-            (self.hidden, self.hidden),  // Wo
+            (self.hidden, self.hidden), // Wq
+            (self.kv_dim, self.hidden), // Wk
+            (self.kv_dim, self.hidden), // Wv
+            (self.hidden, self.hidden), // Wo
         ];
         if self.gated_mlp {
             gemms.push((self.intermediate, self.hidden)); // gate
@@ -259,7 +259,7 @@ mod tests {
             let mx = m.stage_times(w, GemmConfig::MXFP4).prefill_s;
             let hw = m.stage_times(w, GemmConfig::MXFP4_PLUS_HW).prefill_s;
             let ratio = hw / mx;
-            assert!(ratio >= 1.0 && ratio < 1.01, "{}: hardware ratio {ratio}", m.model.name);
+            assert!((1.0..1.01).contains(&ratio), "{}: hardware ratio {ratio}", m.model.name);
         }
     }
 

@@ -71,15 +71,14 @@ impl ModelConfig {
     /// Panics if `hidden` is not divisible by `heads`.
     #[must_use]
     pub fn head_dim(&self) -> usize {
-        assert!(self.hidden % self.heads == 0, "hidden must be divisible by heads");
+        assert!(self.hidden.is_multiple_of(self.heads), "hidden must be divisible by heads");
         self.hidden / self.heads
     }
 
     /// Total parameter count of the scaled-down reproduction model (not the original).
     #[must_use]
     pub fn parameter_count(&self) -> usize {
-        let attn = self.hidden * self.hidden * 2
-            + 2 * self.hidden * (self.hidden / self.heads * self.kv_heads);
+        let attn = self.hidden * self.hidden * 2 + 2 * self.hidden * (self.hidden / self.heads * self.kv_heads);
         let mlp = match self.mlp {
             MlpKind::GatedSilu => 3 * self.hidden * self.intermediate,
             MlpKind::Gelu => 2 * self.hidden * self.intermediate,
@@ -315,12 +314,7 @@ impl ModelConfig {
     /// The four models of Figure 2.
     #[must_use]
     pub fn figure2_models() -> Vec<ModelConfig> {
-        vec![
-            ModelConfig::opt_66b(),
-            ModelConfig::llama31_8b(),
-            ModelConfig::llama31_70b(),
-            ModelConfig::mistral_7b(),
-        ]
+        vec![ModelConfig::opt_66b(), ModelConfig::llama31_8b(), ModelConfig::llama31_70b(), ModelConfig::mistral_7b()]
     }
 }
 

@@ -183,12 +183,7 @@ fn mean_kl(reference: &[Vec<f32>], other: &[Vec<f32>]) -> f64 {
     if reference.is_empty() {
         return 0.0;
     }
-    reference
-        .iter()
-        .zip(other)
-        .map(|(r, o)| kernels::kl_divergence_logits(r, o))
-        .sum::<f64>()
-        / reference.len() as f64
+    reference.iter().zip(other).map(|(r, o)| kernels::kl_divergence_logits(r, o)).sum::<f64>() / reference.len() as f64
 }
 
 #[cfg(test)]

@@ -183,11 +183,8 @@ impl TransformerModel {
                 let mut scores = Vec::with_capacity(visible);
                 for t in 0..visible {
                     let key_row = keys.row(t);
-                    let dot: f32 = q_row[qs..qs + head_dim]
-                        .iter()
-                        .zip(&key_row[ks..ks + head_dim])
-                        .map(|(a, b)| a * b)
-                        .sum();
+                    let dot: f32 =
+                        q_row[qs..qs + head_dim].iter().zip(&key_row[ks..ks + head_dim]).map(|(a, b)| a * b).sum();
                     scores.push(dot * scale);
                 }
                 kernels::softmax_inplace(&mut scores);
@@ -330,8 +327,7 @@ mod tests {
         // Use a configuration with pronounced activation outliers (as in the full model
         // presets) so the block-max effect dominates the logit perturbation.
         let mut cfg = ModelConfig::tiny_test(7);
-        cfg.outliers =
-            mx_tensor::OutlierSpec { channel_fraction: 0.02, magnitude: 60.0, fire_probability: 0.97 };
+        cfg.outliers = mx_tensor::OutlierSpec { channel_fraction: 0.02, magnitude: 60.0, fire_probability: 0.97 };
         let base = TransformerModel::new(cfg.clone(), ModelQuantConfig::BASELINE);
         let fp4 = TransformerModel::new(cfg.clone(), ModelQuantConfig::uniform(QuantScheme::mxfp4()));
         let fp4p = TransformerModel::new(cfg, ModelQuantConfig::uniform(QuantScheme::mxfp4_plus()));

@@ -41,14 +41,8 @@ pub enum Task {
 
 impl Task {
     /// All six tasks in the paper's column order.
-    pub const ALL: [Task; 6] = [
-        Task::ArcEasy,
-        Task::ArcChallenge,
-        Task::Lambada,
-        Task::CollegeCs,
-        Task::IntlLaw,
-        Task::Jurisprudence,
-    ];
+    pub const ALL: [Task; 6] =
+        [Task::ArcEasy, Task::ArcChallenge, Task::Lambada, Task::CollegeCs, Task::IntlLaw, Task::Jurisprudence];
 
     /// Chance-level accuracy of the task.
     #[must_use]
@@ -172,12 +166,7 @@ pub fn evaluate_task_suite(cfg: &ModelConfig, quant: ModelQuantConfig, positions
             TaskResult { task, accuracy_percent: 100.0 * acc }
         })
         .collect();
-    TaskSuiteResult {
-        model: cfg.name.clone(),
-        scheme: quant.name(),
-        relative_logit_error: sigma,
-        tasks,
-    }
+    TaskSuiteResult { model: cfg.name.clone(), scheme: quant.name(), relative_logit_error: sigma, tasks }
 }
 
 /// Standard normal cumulative distribution function.
@@ -208,8 +197,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
-            + 0.254_829_592)
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t + 0.254_829_592)
             * t
             * (-x * x).exp();
     sign * y

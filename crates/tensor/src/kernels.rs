@@ -64,11 +64,7 @@ pub fn layernorm(values: &[f32], gain: &[f32], bias: &[f32], eps: f32) -> Vec<f3
     let mean = values.iter().sum::<f32>() / n;
     let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
     let inv = 1.0 / (var + eps).sqrt();
-    values
-        .iter()
-        .zip(gain.iter().zip(bias))
-        .map(|(v, (g, b))| (v - mean) * inv * g + b)
-        .collect()
+    values.iter().zip(gain.iter().zip(bias)).map(|(v, (g, b))| (v - mean) * inv * g + b).collect()
 }
 
 /// SiLU (swish) activation, used by Llama/Mistral-style gated MLPs.
@@ -114,13 +110,7 @@ pub fn kl_divergence_logits(reference: &[f32], other: &[f32]) -> f64 {
     let log_q = log_softmax(other);
     p.iter()
         .zip(log_p.iter().zip(&log_q))
-        .map(|(&pi, (&lpi, &lqi))| {
-            if pi <= 0.0 {
-                0.0
-            } else {
-                f64::from(pi) * f64::from(lpi - lqi)
-            }
-        })
+        .map(|(&pi, (&lpi, &lqi))| if pi <= 0.0 { 0.0 } else { f64::from(pi) * f64::from(lpi - lqi) })
         .sum::<f64>()
         .max(0.0)
 }
@@ -131,7 +121,7 @@ pub fn kl_divergence_logits(reference: &[f32], other: &[f32]) -> f64 {
 ///
 /// Panics if `head.len()` is odd.
 pub fn apply_rope(head: &mut [f32], position: usize, theta: f32) {
-    assert!(head.len() % 2 == 0, "RoPE head dimension must be even");
+    assert!(head.len().is_multiple_of(2), "RoPE head dimension must be even");
     let half = head.len() / 2;
     for i in 0..half {
         let freq = theta.powf(-2.0 * i as f32 / head.len() as f32);

@@ -325,7 +325,8 @@ mod tests {
         let w = Matrix::from_fn(64, 4, |r, c| (r as f32 * 0.01 + 1.0) * (10.0_f32).powi(c as i32 - 2));
         let a = Matrix::from_fn(2, 64, |_, c| (c as f32 * 0.1).sin());
         let exact = a.matmul(&w);
-        let q = a.matmul_quantized(&w, MatmulQuantConfig { activations: QuantScheme::Fp32, weights: QuantScheme::mxfp6() });
+        let q =
+            a.matmul_quantized(&w, MatmulQuantConfig { activations: QuantScheme::Fp32, weights: QuantScheme::mxfp6() });
         // Relative error per output column stays bounded despite the 10^4 scale spread.
         for r in 0..exact.rows() {
             for c in 0..exact.cols() {

@@ -37,8 +37,7 @@ impl OutlierSpec {
     pub const NONE: OutlierSpec = OutlierSpec { channel_fraction: 0.0, magnitude: 0.0, fire_probability: 0.0 };
 
     /// Milder, scattered outliers typical of vision models (Section 8.2).
-    pub const VISION: OutlierSpec =
-        OutlierSpec { channel_fraction: 0.02, magnitude: 8.0, fire_probability: 0.5 };
+    pub const VISION: OutlierSpec = OutlierSpec { channel_fraction: 0.02, magnitude: 8.0, fire_probability: 0.5 };
 }
 
 /// A generator of synthetic activation matrices with a fixed outlier-channel pattern.
@@ -110,8 +109,7 @@ impl ActivationProfile {
                 // Outlier channels keep a consistent sign bias and large magnitude, as in
                 // the per-channel structure of Figure 4(a).
                 let sign = if c % 2 == 0 { 1.0 } else { -1.0 };
-                sign * (self.spec.magnitude * self.bulk_std * (0.75 + 0.5 * rng.gen::<f32>()))
-                    + base
+                sign * (self.spec.magnitude * self.bulk_std * (0.75 + 0.5 * rng.gen::<f32>())) + base
             } else {
                 base
             }
@@ -182,6 +180,51 @@ mod tests {
         assert_ne!(p1.sample(8, 3), p3.sample(8, 3));
     }
 
+    /// Pins the exact byte-for-byte stream of the seeded generators. Every figure/table
+    /// binary and synthetic-distribution test draws through these paths, so this golden
+    /// test turns "deterministic across runs and machines" into an enforced invariant:
+    /// any change to the vendored RNG, the seeding scheme, or the sampling order shows up
+    /// here before it silently shifts every downstream number.
+    #[test]
+    fn sampled_streams_match_golden_values() {
+        let p = ActivationProfile::llm(64, 1);
+        assert_eq!(p.outlier_channels(), &[40]);
+        let acts = p.sample(2, 0);
+        let expected = [-0.125_752_37_f32, -0.188_684_18, 0.172_393_05, 0.206_228_29];
+        for (got, want) in acts.data().iter().zip(expected) {
+            assert!((got - want).abs() < 1e-6, "activation drifted: {got} vs {want}");
+        }
+        let total: f32 = acts.data().iter().sum();
+        assert!((total - 5.503_622).abs() < 1e-4, "activation sum drifted: {total}");
+
+        let w = mx_tensor_xavier_probe();
+        let expected_w = [-0.228_824_87_f32, 0.334_927_5, 0.385_237_66];
+        for (got, want) in w.iter().zip(expected_w) {
+            assert!((got - want).abs() < 1e-6, "weight drifted: {got} vs {want}");
+        }
+
+        // The raw generator stream is pinned bit-exactly (pure integer math, no libm
+        // involved); the float-derived values above get tolerances because `powf`/`ln`
+        // may differ by ulps across libm implementations.
+        use rand::rngs::StdRng;
+        use rand::{RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let stream: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            stream,
+            vec![0x035e_0619_b1b5_42d7, 0x18a2_186e_157a_b8f5, 0x929e_c7d0_9572_781c, 0xf2d1_177a_6481_806a],
+            "vendored StdRng stream drifted — every figure/table number depends on it"
+        );
+
+        let tokens = synthetic_token_stream(100, 8, 13);
+        assert_eq!(tokens.len(), 8);
+        assert!(tokens.iter().all(|&t| t < 100));
+    }
+
+    fn mx_tensor_xavier_probe() -> Vec<f32> {
+        xavier_weights(16, 4, 1.0, 9).data()[..3].to_vec()
+    }
+
     #[test]
     fn different_tags_decorrelate_draws() {
         let p = ActivationProfile::llm(256, 11);
@@ -195,13 +238,8 @@ mod tests {
         let stats = outlier_stats(acts.data(), 64, 1024);
         // Outliers exist and are concentrated in the profile's channels.
         assert!(stats.total > 0);
-        let detected: Vec<usize> = stats
-            .per_channel_counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 16)
-            .map(|(c, _)| c)
-            .collect();
+        let detected: Vec<usize> =
+            stats.per_channel_counts.iter().enumerate().filter(|(_, &n)| n > 16).map(|(c, _)| c).collect();
         for c in &detected {
             assert!(p.outlier_channels().contains(c), "channel {c} not a profile outlier channel");
         }
@@ -238,9 +276,7 @@ mod tests {
     #[test]
     fn salient_weight_channels_are_larger() {
         let w = weights_with_salient_channels(256, 64, 0.02, 10.0, 21);
-        let row_norms: Vec<f32> = (0..256)
-            .map(|r| w.row(r).iter().map(|v| v * v).sum::<f32>().sqrt())
-            .collect();
+        let row_norms: Vec<f32> = (0..256).map(|r| w.row(r).iter().map(|v| v * v).sum::<f32>().sqrt()).collect();
         let mean: f32 = row_norms.iter().sum::<f32>() / 256.0;
         let big = row_norms.iter().filter(|&&n| n > mean * 3.0).count();
         assert!(big >= 3, "expected several salient rows, found {big}");

@@ -20,7 +20,11 @@ fn main() {
     // 1. Outlier structure (Figure 4a).
     let stats = outlier_stats(acts.data(), rows, cfg.hidden);
     println!("activation tensor: {} x {}", rows, cfg.hidden);
-    println!("3-sigma outliers: {} ({:.3}% of elements)", stats.total, 100.0 * stats.total as f64 / acts.data().len() as f64);
+    println!(
+        "3-sigma outliers: {} ({:.3}% of elements)",
+        stats.total,
+        100.0 * stats.total as f64 / acts.data().len() as f64
+    );
     println!("blocks containing an outlier: {:.1}%", 100.0 * stats.blocks_with_outliers);
 
     // 2. Where does the MXFP4 error come from? (Figure 5)

@@ -34,10 +34,7 @@ fn main() {
         QuantScheme::Nvfp4,
         QuantScheme::Nvfp4Plus,
     ] {
-        let quantized: Vec<f32> = activations
-            .iter_rows()
-            .flat_map(|row| scheme.quantize_dequantize(row))
-            .collect();
+        let quantized: Vec<f32> = activations.iter_rows().flat_map(|row| scheme.quantize_dequantize(row)).collect();
         println!(
             "  {:>8}  {:>6.2} dB   ({:.2} bits/element)",
             scheme.name(),

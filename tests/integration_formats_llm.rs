@@ -79,8 +79,7 @@ fn baseline_scheme_and_quant_scheme_agree_on_mxfp4() {
     let a = profile.sample(4, 0);
     let w = mxplus::tensor::synth::xavier_weights(256, 32, 1.0, 3);
     let via_baseline = mxplus::baselines::BaselineScheme::Mxfp4.apply(&a, &w).output();
-    let via_scheme = a
-        .quantize_rows(QuantScheme::mxfp4())
-        .matmul(&w.transpose().quantize_rows(QuantScheme::mxfp4()).transpose());
+    let via_scheme =
+        a.quantize_rows(QuantScheme::mxfp4()).matmul(&w.transpose().quantize_rows(QuantScheme::mxfp4()).transpose());
     assert_eq!(via_baseline.data(), via_scheme.data());
 }

@@ -87,8 +87,16 @@ fn area_power_and_quant_cost_reports_are_consistent() {
 
     let gpu = GpuSpec::rtx5090();
     for tokens in [32usize, 2048] {
-        let plus = mxplus::gpu::quantcost::table6_normalized_time(&gpu, tokens, mxplus::gpu::quantcost::QuantKernel::Mxfp4Plus);
-        let pp = mxplus::gpu::quantcost::table6_normalized_time(&gpu, tokens, mxplus::gpu::quantcost::QuantKernel::Mxfp4PlusPlus);
+        let plus = mxplus::gpu::quantcost::table6_normalized_time(
+            &gpu,
+            tokens,
+            mxplus::gpu::quantcost::QuantKernel::Mxfp4Plus,
+        );
+        let pp = mxplus::gpu::quantcost::table6_normalized_time(
+            &gpu,
+            tokens,
+            mxplus::gpu::quantcost::QuantKernel::Mxfp4PlusPlus,
+        );
         assert!(plus >= 1.0 && pp >= plus);
     }
 }

@@ -1,0 +1,199 @@
+//! Minimal, offline stub of the `criterion` benchmark harness.
+//!
+//! Implements the surface this workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `criterion_group!`/`criterion_main!` —
+//! with a plain wall-clock measurement: each benchmark runs a short warm-up
+//! then a fixed iteration budget and prints the mean time per iteration. No
+//! statistics, plots or comparisons; swap in real criterion (root manifest)
+//! for those.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs every benchmark
+//! exactly once so the bench targets stay cheap under the test profile.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    /// (iterations, total elapsed) recorded by the last `iter` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean over the iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.result = Some((1, Duration::ZERO));
+            return;
+        }
+        // Warm-up, then scale the budget so one benchmark costs ~100 ms.
+        let warm_start = Instant::now();
+        std::hint::black_box(f());
+        let once = warm_start.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(100).as_nanos() / once.as_nanos()).clamp(5, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes its own budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.criterion.run_one(&format!("{}/{}", self.name, id.id), &mut f);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.criterion.run_one(&format!("{}/{}", self.name, id.id), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` invokes the bench binary with `--test`;
+        // a bare `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { test_mode: self.test_mode, result: None };
+        f(&mut bencher);
+        match bencher.result {
+            Some((iters, total)) if !self.test_mode => {
+                let per_iter = total.as_secs_f64() / iters as f64;
+                println!("{id:<50} {:>12.3} µs/iter  ({iters} iters)", per_iter * 1e6);
+            }
+            _ => println!("{id:<50} ok (test mode)"),
+        }
+    }
+}
+
+/// Declares a function bundling several benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.bench_function("square", |b| b.iter(|| std::hint::black_box(21u64 * 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { test_mode: true };
+        demo(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| 1 + 1));
+    }
+}

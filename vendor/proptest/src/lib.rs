@@ -1,0 +1,178 @@
+//! Minimal, offline stub of the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]` header),
+//! [`prop_oneof!`] (weighted and unweighted), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`, range and [`Just`]
+//! strategies, `prop_map`, `boxed`, and `prop::collection::vec`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately with the assertion
+//!   message; inputs are not minimized.
+//! * **Deterministic seeding.** Each test's RNG seed is the FNV-1a hash of its
+//!   function name, so runs are reproducible across machines and invocations —
+//!   which also keeps CI timing stable.
+//! * `prop_assume!` skips the case rather than drawing a replacement, so a
+//!   test always executes at most `cases` bodies.
+
+#![deny(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Module alias so `prop::collection::vec(..)` works as it does with the real
+/// crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     // (in a real test module this fn would also carry `#[test]`)
+///     fn addition_commutes(a in -100i32..100, b in -100i32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..config.cases {
+                    let _ = __case;
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| {
+                        $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                        $body
+                    })();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Like `assert!`, inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Like `assert_eq!`, inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+/// Like `assert_ne!`, inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+); };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Chooses among several strategies producing the same value type, optionally
+/// weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                // Weighted entries are conventionally parenthesized at call
+                // sites (`3 => (-4.0..4.0)`); don't lint through the macro.
+                #[allow(unused_parens)]
+                let strategy = $strat;
+                ($weight as u32, $crate::strategy::Strategy::boxed(strategy))
+            }),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                #[allow(unused_parens)]
+                let strategy = $strat;
+                (1u32, $crate::strategy::Strategy::boxed(strategy))
+            }),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f32..5.0, n in 1usize..40) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..40).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u8..=255, 3..=7)) {
+            prop_assert!((3..=7).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![2 => Just(1i32), 1 => Just(2i32)].prop_map(|v| v * 10)) {
+            prop_assert!(x == 10 || x == 20);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generated_tests_run() {
+        ranges_stay_in_bounds();
+        vec_respects_size();
+        oneof_and_map_compose();
+        assume_skips();
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_test("demo");
+        let mut b = crate::test_runner::TestRng::for_test("demo");
+        let s = crate::strategy::Strategy::new_value(&(0.0f64..1.0), &mut a);
+        let t = crate::strategy::Strategy::new_value(&(0.0f64..1.0), &mut b);
+        assert_eq!(s, t);
+    }
+}

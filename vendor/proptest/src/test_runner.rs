@@ -1,0 +1,46 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Subset of real proptest's config: just the case count.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 128 cases: enough to exercise the codecs' corner cases while keeping the
+    /// whole workspace test run well under the CI budget (no shrinking exists
+    /// to blow it up).
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// RNG handed to strategies; seeded from the test's name so every run of a
+/// given test draws the identical case sequence.
+pub struct TestRng {
+    /// Underlying generator (public to the crate's strategies only).
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for the named test (FNV-1a hash of the name as seed).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(hash) }
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal, offline stub of the `rand_distr` crate: the [`Distribution`]
+//! trait and a Box–Muller [`Normal`] distribution, generic over `f32`/`f64`.
+
+#![deny(missing_docs)]
+
+/// Types that can draw samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// The mean was non-finite.
+    MeanTooSmall,
+}
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Floating-point scalars the stub's [`Normal`] supports.
+pub trait Float: Copy {
+    /// Converts an `f64` into `Self`.
+    fn from_f64(x: f64) -> Self;
+    /// Converts `Self` into an `f64`.
+    fn to_f64(self) -> f64;
+    /// Whether the value is finite.
+    fn is_finite(self) -> bool;
+    /// Whether the value is `>= 0`.
+    fn is_non_negative(self) -> bool;
+}
+
+impl Float for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    fn is_non_negative(self) -> bool {
+        self >= 0.0
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    fn is_non_negative(self) -> bool {
+        self >= 0.0
+    }
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution; fails on negative or non-finite `std_dev`.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || !std_dev.is_non_negative() {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    /// The distribution's standard deviation.
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller: two uniforms -> one standard normal deviate. The second
+        // deviate is discarded so `sample` can stay `&self` (stateless).
+        let u1 = loop {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let dist = Normal::new(2.0_f64, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0_f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0_f32, f32::INFINITY).is_err());
+    }
+}

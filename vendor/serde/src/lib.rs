@@ -1,0 +1,14 @@
+//! Minimal, offline stub of `serde`: the two marker traits plus no-op derive
+//! macros. The workspace only *derives* Serialize/Deserialize today (for
+//! forward compatibility of its config types); nothing serializes, so the stub
+//! never needs a data model. See vendor/README.md.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

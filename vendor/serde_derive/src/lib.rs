@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline serde stub. Nothing in the workspace serializes yet, so the derives
+//! only need to exist and expand to nothing; the day real serialization is
+//! needed, swap the stub for real serde in the root manifest.
+
+#![deny(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
