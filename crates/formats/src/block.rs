@@ -169,13 +169,24 @@ impl MxBlock {
 /// the model-quality experiments.
 #[must_use]
 pub fn fake_quantize_row(element: ElementType, block_size: usize, values: &[f32]) -> Vec<f32> {
-    assert!(block_size > 0, "block size must be positive");
-    let mut out = Vec::with_capacity(values.len());
-    for chunk in values.chunks(block_size) {
-        let block = MxBlock::quantize(element, chunk);
-        out.extend(block.dequantize());
-    }
+    let mut out = vec![0.0; values.len()];
+    fake_quantize_row_into(element, block_size, values, &mut out);
     out
+}
+
+/// Like [`fake_quantize_row`], but writes into a caller-provided buffer so hot loops can
+/// reuse one scratch allocation across rows (the KV-cache append path depends on this).
+///
+/// # Panics
+///
+/// Panics if `block_size == 0` or `out.len() != values.len()`.
+pub fn fake_quantize_row_into(element: ElementType, block_size: usize, values: &[f32], out: &mut [f32]) {
+    assert!(block_size > 0, "block size must be positive");
+    assert_eq!(out.len(), values.len(), "output length must equal input length");
+    for (chunk, out_chunk) in values.chunks(block_size).zip(out.chunks_mut(block_size)) {
+        let block = MxBlock::quantize(element, chunk);
+        block.dequantize_into(out_chunk);
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +304,21 @@ mod tests {
         let values: Vec<f32> = (0..40).map(|i| i as f32 * 0.1).collect();
         let out = fake_quantize_row(ElementType::E2M3, BLOCK_SIZE, &values);
         assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn fake_quantize_into_matches_allocating_path() {
+        let values: Vec<f32> = (0..100).map(|i| ((i * 37 % 29) as f32 - 14.0) * 0.13).collect();
+        let alloc = fake_quantize_row(ElementType::E2M1, BLOCK_SIZE, &values);
+        let mut scratch = vec![f32::NAN; values.len()];
+        fake_quantize_row_into(ElementType::E2M1, BLOCK_SIZE, &values, &mut scratch);
+        assert_eq!(alloc, scratch);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn fake_quantize_into_validates_length() {
+        fake_quantize_row_into(ElementType::E2M1, BLOCK_SIZE, &[1.0; 8], &mut [0.0; 7]);
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub fn max_abs_error(reference: &[f32], quantized: &[f32]) -> f32 {
 
 /// Signal-to-quantization-noise ratio in decibels: `10 log10(signal power / error power)`.
 ///
-/// Returns `f64::INFINITY` when the quantization is exact.
+/// Returns `f64::INFINITY` when a non-zero signal is quantized exactly, and `0.0` for the
+/// degenerate all-zero case (zero signal, zero noise), where no ratio is defined and the
+/// neutral value keeps downstream averages finite.
 #[must_use]
 pub fn sqnr_db(reference: &[f32], quantized: &[f32]) -> f64 {
     let signal: f64 = reference.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
@@ -51,7 +53,11 @@ pub fn sqnr_db(reference: &[f32], quantized: &[f32]) -> f64 {
         })
         .sum();
     if noise == 0.0 {
-        f64::INFINITY
+        if signal == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
     } else {
         10.0 * (signal / noise).log10()
     }
@@ -203,6 +209,18 @@ mod tests {
         assert_eq!(sqnr_db(&a, &a), f64::INFINITY);
         let b = [1.1_f32, -2.0, 0.5];
         assert!(sqnr_db(&a, &b).is_finite());
+    }
+
+    #[test]
+    fn sqnr_zero_for_all_zero_rows() {
+        // An all-zero row quantizes exactly under every block scheme (zero-block scale);
+        // 0/0 must report the neutral 0.0 dB, not +inf.
+        let zeros = [0.0_f32; 64];
+        assert_eq!(sqnr_db(&zeros, &zeros), 0.0);
+        // A zero signal with non-zero noise is all noise: -inf dB.
+        let mut noisy = [0.0_f32; 64];
+        noisy[3] = 0.25;
+        assert_eq!(sqnr_db(&zeros, &noisy), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -95,6 +95,16 @@ impl MxFormat {
         fake_quantize_row(self.element, self.block_size, values)
     }
 
+    /// Buffer-reusing variant of [`MxFormat::quantize_dequantize`]: writes the
+    /// fake-quantized row into `out` instead of allocating a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != values.len()`.
+    pub fn quantize_dequantize_into(&self, values: &[f32], out: &mut [f32]) {
+        crate::block::fake_quantize_row_into(self.element, self.block_size, values, out);
+    }
+
     /// Direct-cast fake quantization of a row-major matrix, blocking along the rows
     /// (the last/contiguous dimension), which is how the paper quantizes both weight and
     /// activation tensors for dot products.

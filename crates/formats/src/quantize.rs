@@ -162,6 +162,31 @@ impl QuantScheme {
         }
     }
 
+    /// Buffer-reusing variant of [`QuantScheme::quantize_dequantize`]: writes the
+    /// fake-quantized row into `out` so per-row callers (KV-cache appends, column-block
+    /// weight casts) can reuse one scratch buffer instead of allocating a `Vec` per row.
+    ///
+    /// Identity/rounding schemes and the MX family quantize fully in place; the remaining
+    /// schemes fall back to their allocating kernel and copy the result into `out`, so the
+    /// two entry points always agree bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != values.len()`.
+    pub fn quantize_dequantize_into(&self, values: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), values.len(), "output length must equal input length");
+        match self {
+            QuantScheme::Fp32 => out.copy_from_slice(values),
+            QuantScheme::Bf16 => {
+                for (o, &v) in out.iter_mut().zip(values) {
+                    *o = round_to_bf16(v);
+                }
+            }
+            QuantScheme::Mx(f) => f.quantize_dequantize_into(values, out),
+            _ => out.copy_from_slice(&self.quantize_dequantize(values)),
+        }
+    }
+
     /// Average storage bits per element of the scheme (used by the bandwidth model).
     #[must_use]
     pub fn average_bits_per_element(&self) -> f64 {
@@ -175,7 +200,17 @@ impl QuantScheme {
             QuantScheme::Smx(f) => f.average_bits_per_element(),
             QuantScheme::Nvfp4 => 4.0 + 8.0 / 16.0,
             QuantScheme::Nvfp4Plus => 4.0 + 12.0 / 16.0,
-            QuantScheme::TopK(_) => MxFormat::MXFP4.average_bits_per_element(),
+            QuantScheme::TopK(k) => {
+                // Per 32-element block: every element carries at least the MXFP4 (E2M1)
+                // width plus the shared-scale byte; the k promoted elements additionally
+                // pay the E2M1->E2M3 width difference and a log2(block) index each so the
+                // decoder can locate them.
+                let k = (*k).min(BLOCK_SIZE) as f64;
+                let low = f64::from(ElementType::E2M1.bits());
+                let high = f64::from(ElementType::E2M3.bits());
+                let index_bits = (BLOCK_SIZE as f64).log2().ceil();
+                low + (8.0 + k * (high - low) + k * index_bits) / BLOCK_SIZE as f64
+            }
         }
     }
 
@@ -341,6 +376,53 @@ mod tests {
         assert_eq!(QuantScheme::mxfp4_pp().average_bits_per_element(), 4.5);
         assert_eq!(QuantScheme::Nvfp4.average_bits_per_element(), 4.5);
         assert_eq!(QuantScheme::Bf16.average_bits_per_element(), 16.0);
+    }
+
+    #[test]
+    fn topk_bits_account_for_promoted_elements_and_indices() {
+        // Per 32-block: 32 x 4-bit base + 8-bit scale + per promoted element 2 extra
+        // mantissa bits (E2M1 -> E2M3) and a 5-bit index.
+        assert_eq!(QuantScheme::TopK(0).average_bits_per_element(), 4.25);
+        assert_eq!(QuantScheme::TopK(1).average_bits_per_element(), 4.25 + 7.0 / 32.0);
+        assert_eq!(QuantScheme::TopK(2).average_bits_per_element(), 4.6875);
+        // The hybrid must cost strictly more than plain MXFP4 and less than full MXFP6.
+        let k2 = QuantScheme::TopK(2).average_bits_per_element();
+        assert!(k2 > QuantScheme::mxfp4().average_bits_per_element());
+        assert!(k2 < QuantScheme::mxfp6().average_bits_per_element());
+        // k saturates at the block size instead of growing without bound.
+        assert_eq!(QuantScheme::TopK(64).average_bits_per_element(), QuantScheme::TopK(32).average_bits_per_element());
+    }
+
+    #[test]
+    fn quantize_into_matches_allocating_path_for_all_schemes() {
+        let row = activations(200);
+        let schemes = [
+            QuantScheme::Fp32,
+            QuantScheme::Bf16,
+            QuantScheme::mxfp4(),
+            QuantScheme::mxfp6(),
+            QuantScheme::mxfp8(),
+            QuantScheme::mxint8(),
+            QuantScheme::mxfp4_plus(),
+            QuantScheme::mxfp4_pp(),
+            QuantScheme::Msfp(MsfpFormat::MSFP12),
+            QuantScheme::Smx(SmxFormat::SMX6),
+            QuantScheme::Nvfp4,
+            QuantScheme::Nvfp4Plus,
+            QuantScheme::TopK(2),
+        ];
+        let mut scratch = vec![0.0_f32; row.len()];
+        for s in schemes {
+            scratch.fill(f32::NAN);
+            s.quantize_dequantize_into(&row, &mut scratch);
+            assert_eq!(scratch, s.quantize_dequantize(&row), "{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn quantize_into_validates_length() {
+        QuantScheme::mxfp4().quantize_dequantize_into(&[1.0; 8], &mut [0.0; 9]);
     }
 
     #[test]

@@ -3,25 +3,68 @@
 //! Following the paper's methodology, the cached keys and values participate in dot
 //! products (attention scores and attention-weighted sums) and are therefore quantized
 //! with the same scheme as other dot-product operands.
+//!
+//! ## Zero-copy reads
+//!
+//! Rows are stored append-only in one contiguous row-major buffer per tensor, and the
+//! read API serves borrowed `&[f32]` rows ([`LayerKvCache::key_row`]) and
+//! [`MatrixView`]s ([`LayerKvCache::keys_view`]) straight into that storage. The legacy
+//! materializing accessors ([`LayerKvCache::keys`] / [`LayerKvCache::values`]) clone the
+//! whole `len x kv_dim` tensor per call — O(T²) over a decoded sequence — and are kept
+//! only as the regression baseline; every materialization is counted so tests can assert
+//! the hot path never touches them.
+
+use std::cell::Cell;
 
 use mx_formats::QuantScheme;
-use mx_tensor::Matrix;
+use mx_tensor::{Matrix, MatrixView};
 use serde::{Deserialize, Serialize};
 
 /// The KV cache of one attention layer: keys and values appended token by token.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LayerKvCache {
     kv_dim: usize,
     keys: Vec<f32>,
     values: Vec<f32>,
     len: usize,
+    /// Reusable per-append quantization buffer (never observable through the read API).
+    scratch: Vec<f32>,
+    /// Number of full-tensor materializations served (legacy `keys()` / `values()`).
+    materializations: Cell<usize>,
+}
+
+impl PartialEq for LayerKvCache {
+    fn eq(&self, other: &Self) -> bool {
+        // Scratch contents and read-side instrumentation are not part of the cache state.
+        self.kv_dim == other.kv_dim && self.len == other.len && self.keys == other.keys && self.values == other.values
+    }
 }
 
 impl LayerKvCache {
     /// Creates an empty cache for keys/values of width `kv_dim`.
     #[must_use]
     pub fn new(kv_dim: usize) -> Self {
-        LayerKvCache { kv_dim, keys: Vec::new(), values: Vec::new(), len: 0 }
+        LayerKvCache::with_capacity(kv_dim, 0)
+    }
+
+    /// Creates an empty cache with storage pre-reserved for `positions` tokens, so a
+    /// serving loop with a known budget never reallocates (or moves) the row storage.
+    #[must_use]
+    pub fn with_capacity(kv_dim: usize, positions: usize) -> Self {
+        LayerKvCache {
+            kv_dim,
+            keys: Vec::with_capacity(positions * kv_dim),
+            values: Vec::with_capacity(positions * kv_dim),
+            len: 0,
+            scratch: Vec::new(),
+            materializations: Cell::new(0),
+        }
+    }
+
+    /// Reserves storage for at least `additional` more positions.
+    pub fn reserve(&mut self, additional: usize) {
+        self.keys.reserve(additional * self.kv_dim);
+        self.values.reserve(additional * self.kv_dim);
     }
 
     /// Number of cached positions.
@@ -44,6 +87,8 @@ impl LayerKvCache {
 
     /// Appends one position's key and value rows, fake-quantized with `scheme`
     /// (the cache stores the quantized representation, as a real serving system would).
+    /// Quantization goes through one reusable scratch buffer: appends allocate only when
+    /// the row storage itself must grow.
     ///
     /// # Panics
     ///
@@ -51,34 +96,95 @@ impl LayerKvCache {
     pub fn append(&mut self, key: &[f32], value: &[f32], scheme: QuantScheme) {
         assert_eq!(key.len(), self.kv_dim, "key width mismatch");
         assert_eq!(value.len(), self.kv_dim, "value width mismatch");
-        self.keys.extend(scheme.quantize_dequantize(key));
-        self.values.extend(scheme.quantize_dequantize(value));
+        self.scratch.resize(self.kv_dim, 0.0);
+        scheme.quantize_dequantize_into(key, &mut self.scratch);
+        self.keys.extend_from_slice(&self.scratch);
+        scheme.quantize_dequantize_into(value, &mut self.scratch);
+        self.values.extend_from_slice(&self.scratch);
         self.len += 1;
     }
 
-    /// The cached keys as a `(len, kv_dim)` matrix.
+    /// One cached key row, borrowed straight from the row storage (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= len`.
+    #[must_use]
+    pub fn key_row(&self, t: usize) -> &[f32] {
+        assert!(t < self.len, "position out of bounds");
+        &self.keys[t * self.kv_dim..(t + 1) * self.kv_dim]
+    }
+
+    /// One cached value row, borrowed straight from the row storage (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= len`.
+    #[must_use]
+    pub fn value_row(&self, t: usize) -> &[f32] {
+        assert!(t < self.len, "position out of bounds");
+        &self.values[t * self.kv_dim..(t + 1) * self.kv_dim]
+    }
+
+    /// The cached keys as a borrowed `(len, kv_dim)` view (no copy).
+    #[must_use]
+    pub fn keys_view(&self) -> MatrixView<'_> {
+        MatrixView::new(self.len, self.kv_dim, &self.keys)
+    }
+
+    /// The cached values as a borrowed `(len, kv_dim)` view (no copy).
+    #[must_use]
+    pub fn values_view(&self) -> MatrixView<'_> {
+        MatrixView::new(self.len, self.kv_dim, &self.values)
+    }
+
+    /// The cached keys as an owned `(len, kv_dim)` matrix.
+    ///
+    /// This clones the entire cache — the seed's per-token decode cost — and exists only
+    /// as the regression baseline and for cold-path consumers; hot paths must use
+    /// [`LayerKvCache::keys_view`] / [`LayerKvCache::key_row`]. Every call is recorded in
+    /// [`LayerKvCache::materializations`].
     #[must_use]
     pub fn keys(&self) -> Matrix {
-        Matrix::from_vec(self.len, self.kv_dim, self.keys.clone())
+        self.materializations.set(self.materializations.get() + 1);
+        self.keys_view().to_matrix()
     }
 
-    /// The cached values as a `(len, kv_dim)` matrix.
+    /// The cached values as an owned `(len, kv_dim)` matrix (see [`LayerKvCache::keys`]).
     #[must_use]
     pub fn values(&self) -> Matrix {
-        Matrix::from_vec(self.len, self.kv_dim, self.values.clone())
+        self.materializations.set(self.materializations.get() + 1);
+        self.values_view().to_matrix()
     }
 
-    /// Clears the cache.
+    /// How many full-tensor materializations ([`LayerKvCache::keys`] /
+    /// [`LayerKvCache::values`]) this cache has served. The zero-copy decode path keeps
+    /// this at zero; tests assert on it instead of timing.
+    #[must_use]
+    pub fn materializations(&self) -> usize {
+        self.materializations.get()
+    }
+
+    /// Clears the cache (retaining storage).
     pub fn clear(&mut self) {
         self.keys.clear();
         self.values.clear();
         self.len = 0;
     }
 
-    /// Storage in bytes if the cache were held in a format of the given average width.
+    /// Storage in bytes if the cache were held in `scheme`, rounding each stored row up
+    /// to whole bytes (rows are the allocation unit of the append-only layout, so partial
+    /// trailing blocks cost a full byte per row rather than vanishing in a flattened
+    /// average).
     #[must_use]
-    pub fn storage_bytes(&self, bits_per_element: f64) -> usize {
-        ((2 * self.len * self.kv_dim) as f64 * bits_per_element / 8.0).ceil() as usize
+    pub fn storage_bytes(&self, scheme: QuantScheme) -> usize {
+        2 * self.len * Self::row_storage_bytes(self.kv_dim, scheme)
+    }
+
+    /// Bytes one stored row of width `kv_dim` occupies under `scheme` (ceiled per row).
+    #[must_use]
+    pub fn row_storage_bytes(kv_dim: usize, scheme: QuantScheme) -> usize {
+        (kv_dim as f64 * scheme.average_bits_per_element() / 8.0).ceil() as usize
     }
 }
 
@@ -92,7 +198,13 @@ impl KvCache {
     /// Creates empty caches for `layers` layers of key/value width `kv_dim`.
     #[must_use]
     pub fn new(layers: usize, kv_dim: usize) -> Self {
-        KvCache { layers: (0..layers).map(|_| LayerKvCache::new(kv_dim)).collect() }
+        KvCache::with_capacity(layers, kv_dim, 0)
+    }
+
+    /// Creates empty caches with per-layer storage pre-reserved for `positions` tokens.
+    #[must_use]
+    pub fn with_capacity(layers: usize, kv_dim: usize, positions: usize) -> Self {
+        KvCache { layers: (0..layers).map(|_| LayerKvCache::with_capacity(kv_dim, positions)).collect() }
     }
 
     /// The cache of one layer.
@@ -126,6 +238,29 @@ impl KvCache {
         self.layers.first().map_or(0, LayerKvCache::len)
     }
 
+    /// Reserves storage for at least `additional` more positions in every layer
+    /// (a cloned `Vec` keeps only `len` capacity, so clones that will keep decoding
+    /// should re-reserve their headroom).
+    pub fn reserve(&mut self, additional: usize) {
+        for l in &mut self.layers {
+            l.reserve(additional);
+        }
+    }
+
+    /// Total full-tensor materializations served across all layers
+    /// (see [`LayerKvCache::materializations`]).
+    #[must_use]
+    pub fn materializations(&self) -> usize {
+        self.layers.iter().map(LayerKvCache::materializations).sum()
+    }
+
+    /// Total storage in bytes across all layers if held in `scheme`
+    /// (see [`LayerKvCache::storage_bytes`]).
+    #[must_use]
+    pub fn storage_bytes(&self, scheme: QuantScheme) -> usize {
+        self.layers.iter().map(|l| l.storage_bytes(scheme)).sum()
+    }
+
     /// Clears every layer.
     pub fn clear(&mut self) {
         for l in &mut self.layers {
@@ -150,6 +285,41 @@ mod tests {
     }
 
     #[test]
+    fn views_alias_storage_and_match_materialized_reads() {
+        let mut cache = LayerKvCache::new(4);
+        for t in 0..6 {
+            let row = [t as f32; 4];
+            cache.append(&row, &row, QuantScheme::Fp32);
+        }
+        let keys = cache.keys_view();
+        let values = cache.values_view();
+        assert_eq!(keys.shape(), (6, 4));
+        // Row reads borrow the same storage (pointer-identical, not copies)...
+        assert_eq!(cache.key_row(3).as_ptr(), keys.row(3).as_ptr());
+        assert_eq!(keys.row(2).as_ptr(), keys.data()[2 * 4..].as_ptr());
+        assert_eq!(cache.value_row(5), [5.0; 4]);
+        // ...and none of the view reads counted as a materialization.
+        assert_eq!(cache.materializations(), 0);
+        // The legacy owned accessors return the same numbers but are counted.
+        assert_eq!(cache.keys().data(), keys.data());
+        assert_eq!(cache.values().data(), values.data());
+        assert_eq!(cache.materializations(), 2);
+    }
+
+    #[test]
+    fn with_capacity_appends_do_not_move_storage() {
+        let mut cache = LayerKvCache::with_capacity(8, 64);
+        cache.append(&[1.0; 8], &[2.0; 8], QuantScheme::Fp32);
+        let p_keys = cache.key_row(0).as_ptr();
+        for _ in 1..64 {
+            cache.append(&[1.0; 8], &[2.0; 8], QuantScheme::Fp32);
+        }
+        // Row storage was pre-reserved: 64 appends later, row 0 has not moved.
+        assert_eq!(cache.key_row(0).as_ptr(), p_keys);
+        assert_eq!(cache.len(), 64);
+    }
+
+    #[test]
     fn quantized_cache_is_lossy_but_close() {
         let mut exact = LayerKvCache::new(64);
         let mut quant = LayerKvCache::new(64);
@@ -157,7 +327,7 @@ mod tests {
         let value: Vec<f32> = (0..64).map(|i| (i as f32 * 0.11).cos()).collect();
         exact.append(&key, &value, QuantScheme::Fp32);
         quant.append(&key, &value, QuantScheme::mxfp4());
-        let err = mx_formats::metrics::mse(exact.keys().row(0), quant.keys().row(0));
+        let err = mx_formats::metrics::mse(exact.key_row(0), quant.key_row(0));
         assert!(err > 0.0 && err < 0.05);
     }
 
@@ -180,9 +350,36 @@ mod tests {
         for _ in 0..10 {
             cache.append(&[0.1; 32], &[0.2; 32], QuantScheme::Fp32);
         }
-        // 2 * 10 * 32 elements at 4.25 bits.
-        assert_eq!(cache.storage_bytes(4.25), 340);
-        assert_eq!(cache.storage_bytes(16.0), 1280);
+        // 2 * 10 rows of 32 elements: MXFP4 at 4.25 bits -> 17 bytes/row, BF16 -> 64.
+        assert_eq!(cache.storage_bytes(QuantScheme::mxfp4()), 340);
+        assert_eq!(cache.storage_bytes(QuantScheme::Bf16), 1280);
+    }
+
+    #[test]
+    fn storage_accounting_ceils_per_row() {
+        // kv_dim = 40 under MXFP4: 40 * 4.25 = 170 bits = 21.25 bytes -> 22 bytes per
+        // stored row. The old flattened accounting (2*3*40 elements * 4.25 bits / 8,
+        // ceiled once) reported 128 bytes, undercounting the partial trailing block of
+        // every row.
+        assert_eq!(LayerKvCache::row_storage_bytes(40, QuantScheme::mxfp4()), 22);
+        let mut cache = LayerKvCache::new(40);
+        for _ in 0..3 {
+            cache.append(&[0.3; 40], &[0.4; 40], QuantScheme::Fp32);
+        }
+        assert_eq!(cache.storage_bytes(QuantScheme::mxfp4()), 132);
+        assert!(cache.storage_bytes(QuantScheme::mxfp4()) > 128);
+    }
+
+    #[test]
+    fn whole_cache_storage_sums_layers() {
+        let mut cache = KvCache::new(2, 32);
+        for l in 0..2 {
+            for _ in 0..4 {
+                cache.layer_mut(l).append(&[0.1; 32], &[0.1; 32], QuantScheme::Fp32);
+            }
+        }
+        assert_eq!(cache.storage_bytes(QuantScheme::mxfp4()), 2 * 2 * 4 * 17);
+        assert_eq!(cache.materializations(), 0);
     }
 
     #[test]
@@ -190,5 +387,13 @@ mod tests {
     fn append_validates_width() {
         let mut cache = LayerKvCache::new(4);
         cache.append(&[1.0; 3], &[1.0; 4], QuantScheme::Fp32);
+    }
+
+    #[test]
+    #[should_panic(expected = "position out of bounds")]
+    fn row_reads_validate_position() {
+        let mut cache = LayerKvCache::new(4);
+        cache.append(&[1.0; 4], &[1.0; 4], QuantScheme::Fp32);
+        let _ = cache.key_row(1);
     }
 }

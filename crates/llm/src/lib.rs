@@ -30,10 +30,13 @@ pub mod eval;
 pub mod kvcache;
 pub mod model;
 pub mod quant_config;
+pub mod serving;
 pub mod tasks;
 pub mod weights;
 
 pub use config::ModelConfig;
 pub use eval::{evaluate_perplexity, PerplexityReport};
-pub use model::TransformerModel;
+pub use kvcache::{KvCache, LayerKvCache};
+pub use model::{DecodePath, TransformerModel};
 pub use quant_config::ModelQuantConfig;
+pub use serving::{ServingEngine, ServingReport};

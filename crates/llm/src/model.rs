@@ -1,12 +1,76 @@
 //! The transformer model: prefill and decode with quantized dot products.
+//!
+//! The decode hot path ([`DecodePath::ZeroCopy`], the default) reads cached keys/values
+//! through borrowed row slices ([`crate::kvcache::LayerKvCache::key_row`]) — zero copies
+//! per token — runs its score/probability operands through reusable scratch buffers, and
+//! multiplies against weights that were direct-cast **once** at construction. The seed's
+//! decode path — one full-cache [`Matrix`] materialization per tensor per layer per
+//! forward call (O(T²) over a decoded sequence) plus per-call weight re-quantization —
+//! is preserved behind [`DecodePath::SeedClone`] as a bit-identical regression baseline
+//! and as the "before" arm of the decode benchmark.
 
 use mx_tensor::{kernels, Matrix};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{MlpKind, ModelConfig, NormKind};
-use crate::kvcache::KvCache;
+use crate::kvcache::{KvCache, LayerKvCache};
 use crate::quant_config::ModelQuantConfig;
 use crate::weights::ModelWeights;
+
+/// Which implementation of the decode/prefill hot path to run. Both produce bit-identical
+/// logits; they differ only in work performed per token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodePath {
+    /// The serving path: borrowed `&[f32]` cache views, reusable scratch buffers, shared
+    /// per-row activation quantization, and weights direct-cast once at load time.
+    ZeroCopy,
+    /// The seed's path: owned per-call `Matrix` clones of the whole KV cache (O(T²) per
+    /// decoded sequence), per-head score/probability allocations, and weight operands
+    /// re-quantized on every projection. Kept as the regression/benchmark baseline.
+    SeedClone,
+}
+
+/// Per-layer weights after the one-time direct cast with the configured weight schemes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CastLayerWeights {
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    wo: Matrix,
+    w_gate: Matrix,
+    w_up: Matrix,
+    w_down: Matrix,
+}
+
+/// All weight operands quantized once (column-blocked along the reduction dimension),
+/// exactly as `matmul_quantized` would per call — precomputing them is bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CastWeights {
+    layers: Vec<CastLayerWeights>,
+    lm_head: Matrix,
+}
+
+impl CastWeights {
+    fn cast(weights: &ModelWeights, quant: &ModelQuantConfig) -> Self {
+        let w = quant.linear.weights;
+        CastWeights {
+            layers: weights
+                .layers
+                .iter()
+                .map(|lw| CastLayerWeights {
+                    wq: lw.wq.quantize_columns(w),
+                    wk: lw.wk.quantize_columns(w),
+                    wv: lw.wv.quantize_columns(w),
+                    wo: lw.wo.quantize_columns(w),
+                    w_gate: lw.w_gate.quantize_columns(w),
+                    w_up: lw.w_up.quantize_columns(w),
+                    w_down: lw.w_down.quantize_columns(w),
+                })
+                .collect(),
+            lm_head: weights.lm_head.quantize_columns(quant.lm_head.weights),
+        }
+    }
+}
 
 /// A decoder-only transformer with pluggable quantization of every dot-product operand.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -14,6 +78,7 @@ pub struct TransformerModel {
     config: ModelConfig,
     weights: ModelWeights,
     quant: ModelQuantConfig,
+    cast: CastWeights,
 }
 
 impl TransformerModel {
@@ -21,13 +86,15 @@ impl TransformerModel {
     #[must_use]
     pub fn new(config: ModelConfig, quant: ModelQuantConfig) -> Self {
         let weights = ModelWeights::generate(&config);
-        TransformerModel { config, weights, quant }
+        TransformerModel::with_weights(config, weights, quant)
     }
 
-    /// Builds the model from explicit weights.
+    /// Builds the model from explicit weights (direct-casting them once for the zero-copy
+    /// serving path).
     #[must_use]
     pub fn with_weights(config: ModelConfig, weights: ModelWeights, quant: ModelQuantConfig) -> Self {
-        TransformerModel { config, weights, quant }
+        let cast = CastWeights::cast(&weights, &quant);
+        TransformerModel { config, weights, quant, cast }
     }
 
     /// The model configuration.
@@ -48,10 +115,11 @@ impl TransformerModel {
         &self.weights
     }
 
-    /// Changes the quantization configuration (weights are stored unquantized and are
-    /// direct-cast on every projection, so this is a pure configuration change).
+    /// Changes the quantization configuration. The unquantized weights are retained, so
+    /// this re-runs the one-time direct cast under the new weight schemes.
     pub fn set_quant(&mut self, quant: ModelQuantConfig) {
         self.quant = quant;
+        self.cast = CastWeights::cast(&self.weights, &self.quant);
     }
 
     /// Creates an empty KV cache sized for this model.
@@ -68,6 +136,18 @@ impl TransformerModel {
     /// Panics if `tokens` is empty or contains an id outside the vocabulary.
     #[must_use]
     pub fn forward(&self, tokens: &[usize], cache: &mut KvCache) -> Matrix {
+        self.forward_with_path(tokens, cache, DecodePath::ZeroCopy)
+    }
+
+    /// [`TransformerModel::forward`] with an explicit decode path. Both paths are
+    /// bit-identical; [`DecodePath::SeedClone`] exists only to pin that equivalence in
+    /// tests and to benchmark the seed's clone-based decode behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id outside the vocabulary.
+    #[must_use]
+    pub fn forward_with_path(&self, tokens: &[usize], cache: &mut KvCache, path: DecodePath) -> Matrix {
         assert!(!tokens.is_empty(), "token sequence must be non-empty");
         let h = self.config.hidden;
         let start_pos = cache.seq_len();
@@ -80,12 +160,15 @@ impl TransformerModel {
         });
 
         for layer in 0..self.config.layers {
-            x = self.layer_forward(layer, &x, start_pos, cache);
+            x = self.layer_forward(layer, &x, start_pos, cache, path);
         }
 
         // Final norm + LM head.
         let normed = self.apply_norm(&x, &self.weights.final_norm_gain, &self.weights.final_norm_bias);
-        normed.matmul_quantized(&self.weights.lm_head, self.quant.lm_head)
+        match path {
+            DecodePath::ZeroCopy => normed.quantize_rows(self.quant.lm_head.activations).matmul(&self.cast.lm_head),
+            DecodePath::SeedClone => normed.matmul_quantized(&self.weights.lm_head, self.quant.lm_head),
+        }
     }
 
     /// Prefill convenience: runs `forward` with a fresh cache and returns `(logits, cache)`.
@@ -99,7 +182,14 @@ impl TransformerModel {
     /// Decodes a single token given an existing cache, returning its logits.
     #[must_use]
     pub fn decode_step(&self, token: usize, cache: &mut KvCache) -> Vec<f32> {
-        let logits = self.forward(&[token], cache);
+        self.decode_step_with_path(token, cache, DecodePath::ZeroCopy)
+    }
+
+    /// [`TransformerModel::decode_step`] with an explicit decode path
+    /// (see [`DecodePath`]).
+    #[must_use]
+    pub fn decode_step_with_path(&self, token: usize, cache: &mut KvCache, path: DecodePath) -> Vec<f32> {
+        let logits = self.forward_with_path(&[token], cache, path);
         logits.row(0).to_vec()
     }
 
@@ -121,6 +211,103 @@ impl TransformerModel {
         out
     }
 
+    /// Zero-copy attention: cached keys/values are read through borrowed row slices, the
+    /// cache is walked position-outer so every cached row is loaded once per query row
+    /// (not once per head), and the score/probability/query operands go through reusable
+    /// scratch buffers. Bit-identical to [`TransformerModel::attention_materialized`]:
+    /// every per-(head, position) dot product, softmax and accumulation runs in the same
+    /// order on the same values.
+    fn attention_views(&self, lcache: &LayerKvCache, q: &Matrix, start_pos: usize, attn_out: &mut Matrix) {
+        let cfg = &self.config;
+        let head_dim = cfg.head_dim();
+        let group = cfg.heads / cfg.kv_heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let max_visible = start_pos + q.rows();
+        let mut q_buf = vec![0.0_f32; cfg.heads * head_dim];
+        let mut scores = Vec::with_capacity(cfg.heads * max_visible);
+        let mut probs = Vec::with_capacity(cfg.heads * max_visible);
+        for r in 0..q.rows() {
+            let visible = start_pos + r + 1;
+            // Quantize the query row operand (it feeds a dot product against cached keys).
+            self.quant.linear.activations.quantize_dequantize_into(q.row(r), &mut q_buf);
+            scores.resize(cfg.heads * visible, 0.0);
+            for t in 0..visible {
+                let key_row = lcache.key_row(t);
+                for head in 0..cfg.heads {
+                    let qs = head * head_dim;
+                    let ks = (head / group) * head_dim;
+                    let dot: f32 =
+                        q_buf[qs..qs + head_dim].iter().zip(&key_row[ks..ks + head_dim]).map(|(a, b)| a * b).sum();
+                    scores[head * visible + t] = dot * scale;
+                }
+            }
+            // The probability operand of the probs x V matmul is also a dot-product
+            // operand; quantize it with the activation scheme.
+            probs.resize(cfg.heads * visible, 0.0);
+            for head in 0..cfg.heads {
+                let s = &mut scores[head * visible..(head + 1) * visible];
+                kernels::softmax_inplace(s);
+                self.quant
+                    .attention_probs
+                    .quantize_dequantize_into(s, &mut probs[head * visible..(head + 1) * visible]);
+            }
+            let out_row = attn_out.row_mut(r);
+            for t in 0..visible {
+                let value_row = lcache.value_row(t);
+                for head in 0..cfg.heads {
+                    let p = probs[head * visible + t];
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let qs = head * head_dim;
+                    let ks = (head / group) * head_dim;
+                    for (o, &vv) in out_row[qs..qs + head_dim].iter_mut().zip(&value_row[ks..ks + head_dim]) {
+                        *o += p * vv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The seed's clone-based attention: materializes the whole cache into owned
+    /// matrices once per call and allocates per-head score/probability vectors.
+    /// Kept (and benchmarked) as the regression baseline for the zero-copy path.
+    fn attention_materialized(&self, lcache: &LayerKvCache, q: &Matrix, start_pos: usize, attn_out: &mut Matrix) {
+        let cfg = &self.config;
+        let head_dim = cfg.head_dim();
+        let group = cfg.heads / cfg.kv_heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let keys = lcache.keys();
+        let values = lcache.values();
+        for r in 0..q.rows() {
+            let visible = start_pos + r + 1;
+            let q_row = self.quant.linear.activations.quantize_dequantize(q.row(r));
+            for head in 0..cfg.heads {
+                let qs = head * head_dim;
+                let ks = (head / group) * head_dim;
+                let mut scores = Vec::with_capacity(visible);
+                for t in 0..visible {
+                    let key_row = keys.row(t);
+                    let dot: f32 =
+                        q_row[qs..qs + head_dim].iter().zip(&key_row[ks..ks + head_dim]).map(|(a, b)| a * b).sum();
+                    scores.push(dot * scale);
+                }
+                kernels::softmax_inplace(&mut scores);
+                let probs = self.quant.attention_probs.quantize_dequantize(&scores);
+                let out_slice = &mut attn_out.row_mut(r)[qs..qs + head_dim];
+                for (t, &p) in probs.iter().enumerate() {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let value_row = values.row(t);
+                    for (o, &vv) in out_slice.iter_mut().zip(&value_row[ks..ks + head_dim]) {
+                        *o += p * vv;
+                    }
+                }
+            }
+        }
+    }
+
     fn apply_norm(&self, x: &Matrix, gain: &[f32], bias: &[f32]) -> Matrix {
         let mut out = Matrix::zeros(x.rows(), x.cols());
         for r in 0..x.rows() {
@@ -133,19 +320,35 @@ impl TransformerModel {
         out
     }
 
-    fn layer_forward(&self, layer: usize, x: &Matrix, start_pos: usize, cache: &mut KvCache) -> Matrix {
+    fn layer_forward(
+        &self,
+        layer: usize,
+        x: &Matrix,
+        start_pos: usize,
+        cache: &mut KvCache,
+        path: DecodePath,
+    ) -> Matrix {
         let lw = &self.weights.layers[layer];
+        let cast = &self.cast.layers[layer];
         let cfg = &self.config;
         let head_dim = cfg.head_dim();
-        let kv_dim = head_dim * cfg.kv_heads;
-        let group = cfg.heads / cfg.kv_heads;
         let seq = x.rows();
 
         // --- Attention ---
         let normed = self.apply_norm(x, &lw.attn_norm_gain, &lw.attn_norm_bias);
-        let mut q = normed.matmul_quantized(&lw.wq, self.quant.linear);
-        let mut k = normed.matmul_quantized(&lw.wk, self.quant.linear);
-        let v = normed.matmul_quantized(&lw.wv, self.quant.linear);
+        let (mut q, mut k, v) = match path {
+            DecodePath::ZeroCopy => {
+                // Quantize the shared activation operand once for all three projections
+                // and multiply against the pre-cast weights.
+                let a = normed.quantize_rows(self.quant.linear.activations);
+                (a.matmul(&cast.wq), a.matmul(&cast.wk), a.matmul(&cast.wv))
+            }
+            DecodePath::SeedClone => (
+                normed.matmul_quantized(&lw.wq, self.quant.linear),
+                normed.matmul_quantized(&lw.wk, self.quant.linear),
+                normed.matmul_quantized(&lw.wv, self.quant.linear),
+            ),
+        };
 
         // Rotary embeddings per head (vector op, baseline precision).
         if cfg.rope_theta > 0.0 {
@@ -166,71 +369,56 @@ impl TransformerModel {
         for r in 0..seq {
             cache.layer_mut(layer).append(k.row(r), v.row(r), self.quant.kv_cache);
         }
-        let keys = cache.layer(layer).keys();
-        let values = cache.layer(layer).values();
 
         // Attention per query position and head, causal over the cache.
-        let scale = 1.0 / (head_dim as f32).sqrt();
+        let lcache = cache.layer(layer);
         let mut attn_out = Matrix::zeros(seq, cfg.heads * head_dim);
-        for r in 0..seq {
-            let visible = start_pos + r + 1;
-            // Quantize the query row operand (it feeds a dot product against cached keys).
-            let q_row = self.quant.linear.activations.quantize_dequantize(q.row(r));
-            for head in 0..cfg.heads {
-                let kv_head = head / group;
-                let qs = head * head_dim;
-                let ks = kv_head * head_dim;
-                let mut scores = Vec::with_capacity(visible);
-                for t in 0..visible {
-                    let key_row = keys.row(t);
-                    let dot: f32 =
-                        q_row[qs..qs + head_dim].iter().zip(&key_row[ks..ks + head_dim]).map(|(a, b)| a * b).sum();
-                    scores.push(dot * scale);
-                }
-                kernels::softmax_inplace(&mut scores);
-                // The probability operand of the probs x V matmul is also a dot-product
-                // operand; quantize it with the activation scheme.
-                let probs = self.quant.attention_probs.quantize_dequantize(&scores);
-                let out_slice = &mut attn_out.row_mut(r)[qs..qs + head_dim];
-                for (t, &p) in probs.iter().enumerate() {
-                    if p == 0.0 {
-                        continue;
-                    }
-                    let value_row = values.row(t);
-                    for (o, &vv) in out_slice.iter_mut().zip(&value_row[ks..ks + head_dim]) {
-                        *o += p * vv;
-                    }
-                }
-            }
+        match path {
+            DecodePath::ZeroCopy => self.attention_views(lcache, &q, start_pos, &mut attn_out),
+            DecodePath::SeedClone => self.attention_materialized(lcache, &q, start_pos, &mut attn_out),
         }
-        let _ = kv_dim;
 
-        let attn_proj = attn_out.matmul_quantized(&lw.wo, self.quant.linear);
+        let attn_proj = match path {
+            DecodePath::ZeroCopy => attn_out.quantize_rows(self.quant.linear.activations).matmul(&cast.wo),
+            DecodePath::SeedClone => attn_out.matmul_quantized(&lw.wo, self.quant.linear),
+        };
         let x = x.add(&attn_proj);
 
         // --- MLP ---
         let normed = self.apply_norm(&x, &lw.mlp_norm_gain, &lw.mlp_norm_bias);
+        let project = |raw: &Matrix, cast_w: &Matrix, activations: &Matrix| match path {
+            DecodePath::ZeroCopy => activations.quantize_rows(self.quant.linear.activations).matmul(cast_w),
+            DecodePath::SeedClone => activations.matmul_quantized(raw, self.quant.linear),
+        };
         let mlp_out = match cfg.mlp {
             MlpKind::GatedSilu => {
-                let gate = normed.matmul_quantized(&lw.w_gate, self.quant.linear);
-                let up = normed.matmul_quantized(&lw.w_up, self.quant.linear);
+                let (gate, up) = match path {
+                    DecodePath::ZeroCopy => {
+                        let a = normed.quantize_rows(self.quant.linear.activations);
+                        (a.matmul(&cast.w_gate), a.matmul(&cast.w_up))
+                    }
+                    DecodePath::SeedClone => (
+                        normed.matmul_quantized(&lw.w_gate, self.quant.linear),
+                        normed.matmul_quantized(&lw.w_up, self.quant.linear),
+                    ),
+                };
                 let mut hidden = Matrix::zeros(seq, cfg.intermediate);
                 for r in 0..seq {
                     for c in 0..cfg.intermediate {
                         hidden.set(r, c, kernels::silu(gate.get(r, c)) * up.get(r, c));
                     }
                 }
-                hidden.matmul_quantized(&lw.w_down, self.quant.linear)
+                project(&lw.w_down, &cast.w_down, &hidden)
             }
             MlpKind::Gelu => {
-                let fc1 = normed.matmul_quantized(&lw.w_gate, self.quant.linear);
+                let fc1 = project(&lw.w_gate, &cast.w_gate, &normed);
                 let mut hidden = Matrix::zeros(seq, cfg.intermediate);
                 for r in 0..seq {
                     for c in 0..cfg.intermediate {
                         hidden.set(r, c, kernels::gelu(fc1.get(r, c)));
                     }
                 }
-                hidden.matmul_quantized(&lw.w_down, self.quant.linear)
+                project(&lw.w_down, &cast.w_down, &hidden)
             }
         };
         x.add(&mlp_out)
@@ -336,6 +524,48 @@ mod tests {
         let (l4, _) = fp4.prefill(&tokens);
         let (l4p, _) = fp4p.prefill(&tokens);
         assert!(lb.mse(&l4p) < lb.mse(&l4), "MX+ logits must be closer to the baseline");
+    }
+
+    #[test]
+    fn view_and_materialize_modes_are_bit_identical() {
+        // The zero-copy attention path must reproduce the clone-based seed path exactly,
+        // not approximately — same dot products, same softmax inputs, same accumulation
+        // order.
+        for quant in [
+            ModelQuantConfig::BASELINE,
+            ModelQuantConfig::uniform(QuantScheme::mxfp4()),
+            ModelQuantConfig::a_mxfp4_plus(),
+        ] {
+            let model = tiny_model(quant);
+            let prompt = [3, 1, 4, 1, 5, 9, 2, 6];
+            let mut cache_v = model.new_cache();
+            let mut cache_m = model.new_cache();
+            let lv = model.forward_with_path(&prompt, &mut cache_v, DecodePath::ZeroCopy);
+            let lm = model.forward_with_path(&prompt, &mut cache_m, DecodePath::SeedClone);
+            assert_eq!(lv, lm, "prefill logits diverge under {}", quant.name());
+            let mut next = argmax(lv.row(lv.rows() - 1));
+            for step in 0..8 {
+                let sv = model.decode_step_with_path(next, &mut cache_v, DecodePath::ZeroCopy);
+                let sm = model.decode_step_with_path(next, &mut cache_m, DecodePath::SeedClone);
+                assert_eq!(sv, sm, "decode step {step} logits diverge under {}", quant.name());
+                next = argmax(&sv);
+            }
+            for l in 0..cache_v.num_layers() {
+                assert_eq!(cache_v.layer(l), cache_m.layer(l), "cache contents diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn default_decode_path_never_materializes_the_cache() {
+        let model = tiny_model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        let (logits, mut cache) = model.prefill(&[1, 2, 3]);
+        let mut next = argmax(logits.row(logits.rows() - 1));
+        for _ in 0..16 {
+            next = argmax(&model.decode_step(next, &mut cache));
+        }
+        assert_eq!(cache.seq_len(), 19);
+        assert_eq!(cache.materializations(), 0, "hot path must read the cache through views only");
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Regression tests for the zero-copy decode path: the ISSUE-2 acceptance criterion is
+//! that decoding a 512-token sequence performs zero full-cache `Matrix` clones — asserted
+//! through the cache-read API's materialization counter, not through timing.
+
+use mx_formats::QuantScheme;
+use mx_llm::model::argmax;
+use mx_llm::{DecodePath, ModelConfig, ModelQuantConfig, TransformerModel};
+
+#[test]
+fn decoding_512_tokens_performs_zero_full_cache_clones() {
+    let model = TransformerModel::new(ModelConfig::tiny_test(11), ModelQuantConfig::BASELINE);
+    let (logits, mut cache) = model.prefill(&[1, 2, 3, 4]);
+    let mut next = argmax(logits.row(logits.rows() - 1));
+    for _ in 0..512 {
+        next = argmax(&model.decode_step(next, &mut cache));
+    }
+    assert_eq!(cache.seq_len(), 4 + 512);
+    assert_eq!(cache.materializations(), 0, "decode must never materialize the KV cache");
+}
+
+#[test]
+fn clone_based_mode_materializes_per_layer_per_step() {
+    // Pins that the counter actually observes the legacy path: the seed behaviour clones
+    // keys and values once per layer per forward call.
+    let model = TransformerModel::new(ModelConfig::tiny_test(11), ModelQuantConfig::BASELINE);
+    let mut cache = model.new_cache();
+    let steps = 5;
+    let mut next = 1;
+    for _ in 0..steps {
+        next = argmax(&model.decode_step_with_path(next, &mut cache, DecodePath::SeedClone));
+    }
+    let layers = model.config().layers;
+    assert_eq!(cache.materializations(), 2 * layers * steps);
+}
+
+#[test]
+fn quantized_view_decode_is_bit_identical_to_clone_decode_over_a_long_sequence() {
+    // Longer-horizon twin of the unit test in `model.rs`: 128 decode steps under an MX
+    // scheme, comparing logits exactly at every step.
+    let model = TransformerModel::new(ModelConfig::tiny_test(13), ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+    let mut cache_view = model.new_cache();
+    let mut cache_clone = model.new_cache();
+    let prompt = [2usize, 3, 5, 7];
+    let lv = model.forward_with_path(&prompt, &mut cache_view, DecodePath::ZeroCopy);
+    let lc = model.forward_with_path(&prompt, &mut cache_clone, DecodePath::SeedClone);
+    assert_eq!(lv, lc);
+    let mut next = argmax(lv.row(lv.rows() - 1));
+    for step in 0..128 {
+        let sv = model.decode_step_with_path(next, &mut cache_view, DecodePath::ZeroCopy);
+        let sc = model.decode_step_with_path(next, &mut cache_clone, DecodePath::SeedClone);
+        assert_eq!(sv, sc, "logits diverge at decode step {step}");
+        next = argmax(&sv);
+    }
+    assert_eq!(cache_view.materializations(), 0);
+    assert!(cache_clone.materializations() > 0);
+}

@@ -27,7 +27,9 @@ pub mod kernels;
 pub mod matrix;
 pub mod quantized;
 pub mod synth;
+pub mod view;
 
 pub use matrix::Matrix;
 pub use quantized::QuantizedLinear;
 pub use synth::{ActivationProfile, OutlierSpec};
+pub use view::MatrixView;

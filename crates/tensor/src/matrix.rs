@@ -172,22 +172,44 @@ impl Matrix {
     #[must_use]
     pub fn matmul_quantized(&self, rhs: &Matrix, config: MatmulQuantConfig) -> Matrix {
         let a = self.quantize_rows(config.activations);
-        // Weights are blocked along the reduction (k) dimension: quantize the transposed
-        // weight matrix row-wise, then transpose back.
-        let w = rhs.transpose().quantize_rows(config.weights).transpose();
+        // Weights are blocked along the reduction (k) dimension, i.e. down the columns.
+        let w = rhs.quantize_columns(config.weights);
         a.matmul(&w)
     }
 
     /// Returns a copy with every row fake-quantized by `scheme`.
     #[must_use]
     pub fn quantize_rows(&self, scheme: QuantScheme) -> Matrix {
+        if scheme == QuantScheme::Fp32 || self.cols == 0 {
+            return self.clone();
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (r, out_row) in out.data.chunks_mut(self.cols).enumerate() {
+            scheme.quantize_dequantize_into(self.row(r), out_row);
+        }
+        out
+    }
+
+    /// Returns a copy with every column fake-quantized by `scheme` (blocking along the
+    /// reduction dimension of a weight matrix). Bit-identical to
+    /// `self.transpose().quantize_rows(scheme).transpose()` but quantizes column blocks
+    /// through one reusable scratch buffer instead of materializing two transposed copies.
+    #[must_use]
+    pub fn quantize_columns(&self, scheme: QuantScheme) -> Matrix {
         if scheme == QuantScheme::Fp32 {
             return self.clone();
         }
         let mut out = Matrix::zeros(self.rows, self.cols);
-        for r in 0..self.rows {
-            let q = scheme.quantize_dequantize(self.row(r));
-            out.row_mut(r).copy_from_slice(&q);
+        let mut column = vec![0.0_f32; self.rows];
+        let mut quantized = vec![0.0_f32; self.rows];
+        for c in 0..self.cols {
+            for (r, slot) in column.iter_mut().enumerate() {
+                *slot = self.data[r * self.cols + c];
+            }
+            scheme.quantize_dequantize_into(&column, &mut quantized);
+            for (r, &q) in quantized.iter().enumerate() {
+                out.data[r * self.cols + c] = q;
+            }
         }
         out
     }
@@ -350,5 +372,35 @@ mod tests {
     fn fp32_quantize_rows_is_identity() {
         let a = Matrix::from_fn(3, 40, |r, c| (r + c) as f32 * 0.01);
         assert_eq!(a.quantize_rows(QuantScheme::Fp32), a);
+        assert_eq!(a.quantize_columns(QuantScheme::Fp32), a);
+    }
+
+    #[test]
+    fn quantization_handles_degenerate_shapes() {
+        let empty_cols = Matrix::zeros(3, 0);
+        assert_eq!(empty_cols.quantize_rows(QuantScheme::Bf16), empty_cols);
+        assert_eq!(empty_cols.quantize_columns(QuantScheme::Bf16), empty_cols);
+        let empty_rows = Matrix::zeros(0, 3);
+        assert_eq!(empty_rows.quantize_rows(QuantScheme::Bf16), empty_rows);
+        assert_eq!(empty_rows.quantize_columns(QuantScheme::Bf16), empty_rows);
+    }
+
+    #[test]
+    fn quantize_columns_matches_double_transpose() {
+        // The in-place column-block cast must be bit-identical to the old
+        // transpose -> quantize_rows -> transpose path it replaced.
+        let w = Matrix::from_fn(96, 33, |r, c| {
+            let v = ((r * 33 + c) as f32 * 0.23).sin() * 0.4;
+            if r % 41 == 7 {
+                v * 25.0
+            } else {
+                v
+            }
+        });
+        for scheme in [QuantScheme::Bf16, QuantScheme::mxfp4(), QuantScheme::mxfp4_plus(), QuantScheme::mxfp8()] {
+            let direct = w.quantize_columns(scheme);
+            let via_transpose = w.transpose().quantize_rows(scheme).transpose();
+            assert_eq!(direct, via_transpose, "{}", scheme.name());
+        }
     }
 }

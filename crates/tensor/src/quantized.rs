@@ -32,10 +32,9 @@ impl QuantizedLinear {
     pub fn new(weight: Matrix, config: MatmulQuantConfig) -> Self {
         assert!(weight.rows() > 0 && weight.cols() > 0, "weight matrix must be non-empty");
         let (in_features, out_features) = weight.shape();
-        // Weights are blocked along the reduction dimension (their rows): quantize the
-        // transposed matrix row-wise, then transpose back, exactly as in
-        // `Matrix::matmul_quantized`.
-        let quantized = weight.transpose().quantize_rows(config.weights).transpose();
+        // Weights are blocked along the reduction dimension (their rows, i.e. each output
+        // column's k-extent), exactly as in `Matrix::matmul_quantized`.
+        let quantized = weight.quantize_columns(config.weights);
         QuantizedLinear { weight: quantized, config, in_features, out_features }
     }
 

@@ -1,0 +1,135 @@
+//! Borrowed, zero-copy matrix views.
+//!
+//! The decode hot path of the LLM substrate reads cached keys/values thousands of times
+//! per generated token; materializing an owned [`Matrix`] for every read is the O(T²)
+//! behaviour this type eliminates. A [`MatrixView`] is a `(rows, cols)` window over an
+//! existing row-major `&[f32]` buffer: constructing one is free, and row access returns
+//! plain slices into the underlying storage.
+
+use crate::matrix::Matrix;
+
+/// A borrowed, row-major `(rows, cols)` view over an `f32` buffer.
+///
+/// ```
+/// use mx_tensor::{Matrix, MatrixView};
+///
+/// let m = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+/// let v = m.as_view();
+/// assert_eq!(v.shape(), (3, 4));
+/// assert_eq!(v.row(1), &[4.0, 5.0, 6.0, 7.0]);
+/// // Views borrow: no data was copied.
+/// assert_eq!(v.data().as_ptr(), m.data().as_ptr());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixView<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f32],
+}
+
+impl<'a> MatrixView<'a> {
+    /// Wraps a row-major buffer without copying it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, data: &'a [f32]) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows * cols");
+        MatrixView { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The underlying row-major buffer.
+    #[must_use]
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// A single element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// One row as a slice of the underlying storage (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &'a [f32] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &'a [f32]> {
+        self.data.chunks(self.cols)
+    }
+
+    /// Materializes the view into an owned [`Matrix`] (the one deliberate copy).
+    #[must_use]
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.to_vec())
+    }
+}
+
+impl Matrix {
+    /// A borrowed view of the whole matrix.
+    #[must_use]
+    pub fn as_view(&self) -> MatrixView<'_> {
+        MatrixView::new(self.rows(), self.cols(), self.data())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_reads_without_copying() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let v = m.as_view();
+        assert_eq!(v.shape(), (4, 3));
+        assert_eq!(v.get(2, 1), 7.0);
+        assert_eq!(v.row(3), &[9.0, 10.0, 11.0]);
+        assert_eq!(v.iter_rows().count(), 4);
+        assert_eq!(v.data().as_ptr(), m.data().as_ptr());
+        assert_eq!(v.row(2).as_ptr(), m.row(2).as_ptr());
+    }
+
+    #[test]
+    fn round_trip_to_matrix() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r + c) as f32 * 0.5);
+        assert_eq!(m.as_view().to_matrix(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn new_validates_length() {
+        let _ = MatrixView::new(2, 3, &[0.0; 5]);
+    }
+}
