@@ -8,29 +8,21 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::block::MxBlock;
 use crate::element::ElementType;
 use crate::error::FormatError;
-use crate::mxplus::MxPlusBlock;
+use crate::minifloat;
+use crate::mxfp::MxFormat;
+use crate::mxplus::{MxPlusBlock, MxPlusFormat};
+use crate::quantize::QuantScheme;
 use crate::scale::SharedScale;
 
 /// Packs a sequence of element codes of width `bits` into a byte vector (little-endian bit
 /// order within each byte).
 #[must_use]
 pub fn pack_codes(codes: &[u8], bits: u32) -> Vec<u8> {
-    assert!((1..=8).contains(&bits), "element width must be between 1 and 8 bits");
-    let total_bits = codes.len() * bits as usize;
-    let mut out = vec![0u8; total_bits.div_ceil(8)];
-    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 };
-    for (i, &code) in codes.iter().enumerate() {
-        let value = u16::from(code) & mask;
-        let bit_pos = i * bits as usize;
-        let byte = bit_pos / 8;
-        let offset = bit_pos % 8;
-        out[byte] |= (value << offset) as u8;
-        if offset + bits as usize > 8 {
-            out[byte + 1] |= (value >> (8 - offset)) as u8;
-        }
-    }
+    let mut out = vec![0u8; (codes.len() * bits as usize).div_ceil(8)];
+    pack_codes_into(codes, bits, &mut out);
     out
 }
 
@@ -45,19 +37,7 @@ pub fn unpack_codes(packed: &[u8], bits: u32, count: usize) -> Result<Vec<u8>, F
     if packed.len() < needed {
         return Err(FormatError::PackedLength { expected: needed, actual: packed.len() });
     }
-    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 };
-    let mut out = Vec::with_capacity(count);
-    for i in 0..count {
-        let bit_pos = i * bits as usize;
-        let byte = bit_pos / 8;
-        let offset = bit_pos % 8;
-        let mut value = u16::from(packed[byte]) >> offset;
-        if offset + bits as usize > 8 {
-            value |= u16::from(packed[byte + 1]) << (8 - offset);
-        }
-        out.push((value & mask) as u8);
-    }
-    Ok(out)
+    Ok((0..count).map(|i| code_at(packed, bits, i)).collect())
 }
 
 /// A bit-packed MX+ tensor row: element stream, shared-scale stream and metadata stream.
@@ -138,6 +118,237 @@ impl PackedMxPlusRow {
     pub fn average_bits_per_element(&self) -> f64 {
         self.storage_bytes() as f64 * 8.0 / self.len as f64
     }
+}
+
+/// Packs element codes of width `bits` into a caller-provided byte slice, zeroing the
+/// packed region first (the buffer-reusing core of [`pack_codes`]).
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `1..=8` or `out` is shorter than the packed size of
+/// `codes`.
+fn pack_codes_into(codes: &[u8], bits: u32, out: &mut [u8]) {
+    assert!((1..=8).contains(&bits), "element width must be between 1 and 8 bits");
+    let needed = (codes.len() * bits as usize).div_ceil(8);
+    assert!(out.len() >= needed, "packed output buffer too short");
+    out[..needed].fill(0);
+    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 };
+    for (i, &code) in codes.iter().enumerate() {
+        let value = u16::from(code) & mask;
+        let bit_pos = i * bits as usize;
+        let byte = bit_pos / 8;
+        let offset = bit_pos % 8;
+        out[byte] |= (value << offset) as u8;
+        if offset + bits as usize > 8 {
+            out[byte + 1] |= (value >> (8 - offset)) as u8;
+        }
+    }
+}
+
+/// Reads the `i`-th element code of width `bits` from a packed byte slice without
+/// allocating (the random-access twin of [`unpack_codes`]).
+fn code_at(packed: &[u8], bits: u32, i: usize) -> u8 {
+    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 };
+    let bit_pos = i * bits as usize;
+    let byte = bit_pos / 8;
+    let offset = bit_pos % 8;
+    let mut value = u16::from(packed[byte]) >> offset;
+    if offset + bits as usize > 8 {
+        value |= u16::from(packed[byte + 1]) << (8 - offset);
+    }
+    (value & mask) as u8
+}
+
+/// A row codec that stores quantized rows **genuinely bit-packed** in caller-provided
+/// byte buffers, for storage systems (e.g. the paged KV cache) that hold tensors at their
+/// true scheme width instead of as dequantized `f32`.
+///
+/// The MX and MX+ families pack to their native element widths (4/6/8-bit codes plus one
+/// shared-scale byte per block, plus the MX+ metadata byte); every other
+/// [`QuantScheme`] falls back to [`RowCodec::Dequantized`], which stores the
+/// fake-quantized values as little-endian `f32` bytes. In all cases the round trip
+/// `pack_row_into` → `unpack_row_into` reproduces `scheme.quantize_dequantize(values)`
+/// **bit for bit**, so a packed store can substitute for an `f32` store without changing
+/// a single output.
+///
+/// ```
+/// use mx_formats::layout::RowCodec;
+/// use mx_formats::QuantScheme;
+///
+/// let scheme = QuantScheme::mxfp4();
+/// let codec = RowCodec::for_scheme(scheme);
+/// let row = [0.1_f32, -0.7, 3.3, 0.02, -9.1, 0.5, 0.25, -0.125];
+/// let mut packed = vec![0u8; codec.packed_bytes(row.len())];
+/// codec.pack_row_into(&row, &mut packed);
+/// let mut restored = vec![0.0_f32; row.len()];
+/// codec.unpack_row_into(&packed, &mut restored);
+/// assert_eq!(restored, scheme.quantize_dequantize(&row));
+/// assert_eq!(packed.len(), 5); // one scale byte + 8 nibbles, vs 32 bytes of f32
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RowCodec {
+    /// Bit-packed MX blocks: per block one E8M0 scale byte followed by the element codes
+    /// packed at their native width (each block padded to a whole byte).
+    Mx(MxFormat),
+    /// Bit-packed MX+ blocks: per block one scale byte, one metadata byte (5-bit BM index)
+    /// and the packed element codes.
+    MxPlus(MxPlusFormat),
+    /// Fallback for schemes without a byte-exact code representation here: the row is
+    /// fake-quantized and stored as little-endian `f32` bytes (no compression).
+    Dequantized(QuantScheme),
+}
+
+impl RowCodec {
+    /// The codec that stores rows of `scheme` at their true width: bit-packed for the MX
+    /// and MX+ families, [`RowCodec::Dequantized`] otherwise.
+    #[must_use]
+    pub fn for_scheme(scheme: QuantScheme) -> Self {
+        match scheme {
+            QuantScheme::Mx(f) => RowCodec::Mx(f),
+            QuantScheme::MxPlus(f) => RowCodec::MxPlus(f),
+            other => RowCodec::Dequantized(other),
+        }
+    }
+
+    /// Whether rows are stored below `f32` width (false only for the fallback codec).
+    #[must_use]
+    pub fn is_bit_packed(&self) -> bool {
+        !matches!(self, RowCodec::Dequantized(_))
+    }
+
+    /// Exact number of bytes a packed row of `len` elements occupies.
+    #[must_use]
+    pub fn packed_bytes(&self, len: usize) -> usize {
+        match self {
+            RowCodec::Mx(f) => row_block_bytes(len, f.block_size, f.element.bits(), 1),
+            RowCodec::MxPlus(f) => row_block_bytes(len, f.block_size, f.element.bits(), 2),
+            RowCodec::Dequantized(_) => len * 4,
+        }
+    }
+
+    /// Quantizes `values` and packs the result into `out`
+    /// (which must be exactly [`RowCodec::packed_bytes`] long).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.packed_bytes(values.len())`.
+    pub fn pack_row_into(&self, values: &[f32], out: &mut [u8]) {
+        assert_eq!(out.len(), self.packed_bytes(values.len()), "packed row buffer size mismatch");
+        match self {
+            RowCodec::Mx(f) => {
+                let bits = f.element.bits();
+                let mut off = 0;
+                for chunk in values.chunks(f.block_size) {
+                    let block = MxBlock::quantize(f.element, chunk);
+                    out[off] = block.scale().to_bits();
+                    off += 1;
+                    let nb = (chunk.len() * bits as usize).div_ceil(8);
+                    pack_codes_into(block.codes(), bits, &mut out[off..off + nb]);
+                    off += nb;
+                }
+            }
+            RowCodec::MxPlus(f) => {
+                let bits = f.element.bits();
+                let mut off = 0;
+                for chunk in values.chunks(f.block_size) {
+                    let block = MxPlusBlock::quantize(f.element, chunk);
+                    out[off] = block.scale().to_bits();
+                    out[off + 1] = block.metadata_byte();
+                    off += 2;
+                    let nb = (chunk.len() * bits as usize).div_ceil(8);
+                    pack_codes_into(block.codes(), bits, &mut out[off..off + nb]);
+                    off += nb;
+                }
+            }
+            RowCodec::Dequantized(scheme) => {
+                for (o, q) in out.chunks_exact_mut(4).zip(scheme.quantize_dequantize(values)) {
+                    o.copy_from_slice(&q.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes a packed row into `out` (whose length gives the element count), producing
+    /// exactly what `scheme.quantize_dequantize` produced for the original values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != self.packed_bytes(out.len())`.
+    pub fn unpack_row_into(&self, packed: &[u8], out: &mut [f32]) {
+        assert_eq!(packed.len(), self.packed_bytes(out.len()), "packed row buffer size mismatch");
+        match self {
+            RowCodec::Mx(f) => {
+                let bits = f.element.bits();
+                let mut off = 0;
+                for out_chunk in out.chunks_mut(f.block_size) {
+                    let scale = SharedScale::from_bits(packed[off]);
+                    off += 1;
+                    let nb = (out_chunk.len() * bits as usize).div_ceil(8);
+                    let codes = &packed[off..off + nb];
+                    off += nb;
+                    if scale.is_zero_block() {
+                        out_chunk.fill(0.0);
+                        continue;
+                    }
+                    let s = scale.value();
+                    for (i, o) in out_chunk.iter_mut().enumerate() {
+                        let c = code_at(codes, bits, i);
+                        let e = if f.element.is_int() {
+                            minifloat::decode_int(f.element, c)
+                        } else {
+                            minifloat::decode_fp(f.element, c)
+                        };
+                        *o = e * s;
+                    }
+                }
+            }
+            RowCodec::MxPlus(f) => {
+                let bits = f.element.bits();
+                let mut off = 0;
+                for out_chunk in out.chunks_mut(f.block_size) {
+                    let scale = SharedScale::from_bits(packed[off]);
+                    let bm = usize::from(packed[off + 1] & 0x1f);
+                    off += 2;
+                    let nb = (out_chunk.len() * bits as usize).div_ceil(8);
+                    let codes = &packed[off..off + nb];
+                    off += nb;
+                    if scale.is_zero_block() {
+                        out_chunk.fill(0.0);
+                        continue;
+                    }
+                    let s = scale.value();
+                    for (i, o) in out_chunk.iter_mut().enumerate() {
+                        let c = code_at(codes, bits, i);
+                        let e = if i == bm {
+                            minifloat::decode_bm_extended(f.element, c)
+                        } else if f.element.is_int() {
+                            minifloat::decode_int(f.element, c)
+                        } else {
+                            minifloat::decode_fp(f.element, c)
+                        };
+                        *o = e * s;
+                    }
+                }
+            }
+            RowCodec::Dequantized(_) => {
+                for (o, bytes) in out.iter_mut().zip(packed.chunks_exact(4)) {
+                    *o = f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+                }
+            }
+        }
+    }
+}
+
+/// Bytes of a row of `len` elements split into `block_size` blocks, each paying
+/// `header_bytes` of header plus its byte-padded packed codes.
+fn row_block_bytes(len: usize, block_size: usize, bits: u32, header_bytes: usize) -> usize {
+    let full = len / block_size;
+    let tail = len % block_size;
+    let mut bytes = full * (header_bytes + (block_size * bits as usize).div_ceil(8));
+    if tail > 0 {
+        bytes += header_bytes + (tail * bits as usize).div_ceil(8);
+    }
+    bytes
 }
 
 #[cfg(test)]
@@ -240,5 +451,75 @@ mod tests {
         let mut packed = PackedMxPlusRow::pack(&blocks);
         packed.metadata.pop();
         assert!(packed.unpack().is_err());
+    }
+
+    fn codec_round_trip(scheme: QuantScheme, len: usize) {
+        let row = sample_row(len);
+        let codec = RowCodec::for_scheme(scheme);
+        let mut packed = vec![0xaa_u8; codec.packed_bytes(len)];
+        codec.pack_row_into(&row, &mut packed);
+        let mut restored = vec![f32::NAN; len];
+        codec.unpack_row_into(&packed, &mut restored);
+        assert_eq!(restored, scheme.quantize_dequantize(&row), "{scheme} len {len}");
+    }
+
+    #[test]
+    fn row_codec_matches_fake_quantization_bit_for_bit() {
+        for scheme in [
+            QuantScheme::mxfp4(),
+            QuantScheme::mxfp6(),
+            QuantScheme::mxfp8(),
+            QuantScheme::mxint4(),
+            QuantScheme::mxint8(),
+            QuantScheme::mxfp4_plus(),
+            QuantScheme::mxfp6_plus(),
+            QuantScheme::mxfp8_plus(),
+            QuantScheme::mxint8_plus(),
+            QuantScheme::Fp32,
+            QuantScheme::Bf16,
+            QuantScheme::mxfp4_pp(),
+            QuantScheme::Nvfp4Plus,
+        ] {
+            for len in [1, 31, 32, 33, 64, 100] {
+                codec_round_trip(scheme, len);
+            }
+        }
+    }
+
+    #[test]
+    fn row_codec_bytes_are_the_true_scheme_width() {
+        // 64 elements = 2 full MXFP4 blocks: 2 * (1 scale + 16 code bytes) = 34 bytes
+        // (4.25 bits/element exactly), vs 256 bytes of f32.
+        assert_eq!(RowCodec::for_scheme(QuantScheme::mxfp4()).packed_bytes(64), 34);
+        // MXFP4+ adds one metadata byte per block: 36 bytes = 4.5 bits/element.
+        assert_eq!(RowCodec::for_scheme(QuantScheme::mxfp4_plus()).packed_bytes(64), 36);
+        // MXFP6: 32 * 6 bits = 24 code bytes + scale per block.
+        assert_eq!(RowCodec::for_scheme(QuantScheme::mxfp6()).packed_bytes(64), 50);
+        // Partial tail blocks are byte-ceiled per block: 40 = 32 + 8 elements.
+        assert_eq!(RowCodec::for_scheme(QuantScheme::mxfp4()).packed_bytes(40), 17 + 1 + 4);
+        // Fallback schemes store f32.
+        assert_eq!(RowCodec::for_scheme(QuantScheme::Bf16).packed_bytes(64), 256);
+        assert!(!RowCodec::for_scheme(QuantScheme::Bf16).is_bit_packed());
+        assert!(RowCodec::for_scheme(QuantScheme::mxfp4()).is_bit_packed());
+    }
+
+    #[test]
+    fn row_codec_fallback_survives_a_byte_level_round_trip() {
+        // The fallback stores exact f32 bit patterns, so even schemes with no packed
+        // representation round-trip losslessly through the byte buffer.
+        codec_round_trip(QuantScheme::TopK(2), 100);
+        codec_round_trip(QuantScheme::Nvfp4, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed row buffer size mismatch")]
+    fn row_codec_pack_validates_buffer_size() {
+        RowCodec::for_scheme(QuantScheme::mxfp4()).pack_row_into(&[1.0; 32], &mut [0u8; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed row buffer size mismatch")]
+    fn row_codec_unpack_validates_buffer_size() {
+        RowCodec::for_scheme(QuantScheme::mxfp4()).unpack_row_into(&[0u8; 16], &mut [0.0; 32]);
     }
 }

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use mx_formats::block::{fake_quantize_row, MxBlock, BLOCK_SIZE};
-use mx_formats::layout::{pack_codes, unpack_codes, PackedMxPlusRow};
+use mx_formats::layout::{pack_codes, unpack_codes, PackedMxPlusRow, RowCodec};
 use mx_formats::minifloat::{decode_fp, encode_fp, quantize_fp};
 use mx_formats::mxplus::{MxPlusBlock, MxPlusFormat};
 use mx_formats::mxpp::MxPlusPlusBlock;
@@ -172,5 +172,51 @@ proptest! {
             by_block.extend(MxBlock::quantize(ElementType::E2M3, chunk).dequantize());
         }
         prop_assert_eq!(whole, by_block);
+    }
+
+    /// The packed-row codec invariant the paged KV cache depends on: for every scheme
+    /// across the 4/6/8-bit element widths (and the f32 fallback), and for row lengths
+    /// that are not multiples of the block size, `pack → unpack` reproduces the scheme's
+    /// fake quantization bit for bit, at exactly the codec's advertised byte count.
+    #[test]
+    fn packed_row_codec_round_trips_every_scheme(values in prop::collection::vec(finite_value(), 1..200)) {
+        for scheme in [
+            // 4-bit element widths
+            QuantScheme::mxfp4(),
+            QuantScheme::mxint4(),
+            QuantScheme::mxfp4_plus(),
+            QuantScheme::mxint4_plus(),
+            // 6-bit element widths
+            QuantScheme::mxfp6(),
+            QuantScheme::Mx(mx_formats::MxFormat::MXFP6_E3M2),
+            QuantScheme::mxfp6_plus(),
+            // 8-bit element widths
+            QuantScheme::mxfp8(),
+            QuantScheme::mxint8(),
+            QuantScheme::mxfp8_plus(),
+            QuantScheme::mxint8_plus(),
+            // f32 fallback codec
+            QuantScheme::Bf16,
+            QuantScheme::mxfp4_pp(),
+            QuantScheme::Nvfp4Plus,
+        ] {
+            let codec = RowCodec::for_scheme(scheme);
+            let mut packed = vec![0x5a_u8; codec.packed_bytes(values.len())];
+            codec.pack_row_into(&values, &mut packed);
+            let mut restored = vec![f32::NAN; values.len()];
+            codec.unpack_row_into(&packed, &mut restored);
+            prop_assert_eq!(restored, scheme.quantize_dequantize(&values), "{}", scheme.name());
+        }
+    }
+
+    /// Bit-packed codecs never store more than the per-block byte-ceiled scheme width,
+    /// and always beat f32 storage for rows of at least one element.
+    #[test]
+    fn packed_row_codec_bytes_beat_f32(len in 1usize..300) {
+        for scheme in [QuantScheme::mxfp4(), QuantScheme::mxfp6(), QuantScheme::mxfp8(), QuantScheme::mxfp4_plus()] {
+            let codec = RowCodec::for_scheme(scheme);
+            prop_assert!(codec.is_bit_packed());
+            prop_assert!(codec.packed_bytes(len) < len * 4, "{} len {len}", scheme.name());
+        }
     }
 }

@@ -13,6 +13,14 @@
 //! whole `len x kv_dim` tensor per call — O(T²) over a decoded sequence — and are kept
 //! only as the regression baseline; every materialization is counted so tests can assert
 //! the hot path never touches them.
+//!
+//! ## Backends
+//!
+//! The decode hot path is generic over a cache *backend* ([`KvBackend`]): this module's
+//! [`KvCache`] stores dequantized `f32` rows (the accuracy / bit-exactness baseline),
+//! while [`PagedKvCache`](crate::paging::PagedKvCache) stores rows genuinely bit-packed
+//! in pool-allocated pages. Both backends feed the attention loop through a per-layer
+//! [`KvLayerReader`], so the zero-materialization invariant is backend-independent.
 
 use std::cell::Cell;
 
@@ -181,6 +189,17 @@ impl LayerKvCache {
         2 * self.len * Self::row_storage_bytes(self.kv_dim, scheme)
     }
 
+    /// Bytes of backing storage this cache has allocated for row data: this backend
+    /// stores the *dequantized* rows, so the commitment is 4 bytes per element of
+    /// reserved capacity regardless of the quantization scheme. Counting capacity (not
+    /// just rows written) makes the number the allocation-granular analogue of the paged
+    /// backend's page occupancy (contrast [`LayerKvCache::storage_bytes`], the
+    /// theoretical scheme width of the rows written).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        (self.keys.capacity() + self.values.capacity()) * std::mem::size_of::<f32>()
+    }
+
     /// Bytes one stored row of width `kv_dim` occupies under `scheme` (ceiled per row).
     #[must_use]
     pub fn row_storage_bytes(kv_dim: usize, scheme: QuantScheme) -> usize {
@@ -261,11 +280,98 @@ impl KvCache {
         self.layers.iter().map(|l| l.storage_bytes(scheme)).sum()
     }
 
+    /// Bytes of backing storage allocated for cache rows across all layers
+    /// (see [`LayerKvCache::resident_bytes`]).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.layers.iter().map(LayerKvCache::resident_bytes).sum()
+    }
+
     /// Clears every layer.
     pub fn clear(&mut self) {
         for l in &mut self.layers {
             l.clear();
         }
+    }
+}
+
+/// Row-level read access to one layer of a KV cache during attention.
+///
+/// The reader owns whatever per-read state the backend needs: the `f32` backend returns
+/// borrowed slices straight into its contiguous row storage (zero work per read), while
+/// the paged backend decodes the requested packed row into a reusable dequant scratch
+/// buffer and returns that. Either way the returned slice is only guaranteed until the
+/// next read, which is exactly the access pattern of the zero-copy attention loop
+/// (each row is consumed before the next is requested).
+pub trait KvLayerReader {
+    /// The cached key row at position `t`.
+    fn key_row(&mut self, t: usize) -> &[f32];
+    /// The cached value row at position `t`.
+    fn value_row(&mut self, t: usize) -> &[f32];
+}
+
+/// A KV-cache backend the transformer's zero-copy decode path can run over.
+///
+/// Extracted from the concrete [`KvCache`] so the model is agnostic to *how* rows are
+/// stored: dequantized `f32` ([`KvCache`]) or bit-packed pages
+/// ([`PagedKvCache`](crate::paging::PagedKvCache)). Appends hand the backend the raw
+/// (pre-quantization) rows plus the scheme; reads go through a per-layer
+/// [`KvLayerReader`]. Both backends must expose rows whose values equal
+/// `scheme.quantize_dequantize(row)` bit for bit, which is what makes the backends
+/// interchangeable token for token.
+pub trait KvBackend {
+    /// The per-layer reader type handed to the attention loop.
+    type Layer<'a>: KvLayerReader
+    where
+        Self: 'a;
+
+    /// Number of layers.
+    fn num_layers(&self) -> usize;
+
+    /// Sequence length currently cached (same for every layer).
+    fn seq_len(&self) -> usize;
+
+    /// Appends one position's key and value rows to `layer`, quantized with `scheme`.
+    fn append(&mut self, layer: usize, key: &[f32], value: &[f32], scheme: QuantScheme);
+
+    /// A row reader over `layer`'s cached positions.
+    fn layer_reader(&mut self, layer: usize) -> Self::Layer<'_>;
+
+    /// Full-tensor materializations served so far (0 on every hot path).
+    fn materializations(&self) -> usize;
+}
+
+impl KvLayerReader for &LayerKvCache {
+    fn key_row(&mut self, t: usize) -> &[f32] {
+        LayerKvCache::key_row(self, t)
+    }
+
+    fn value_row(&mut self, t: usize) -> &[f32] {
+        LayerKvCache::value_row(self, t)
+    }
+}
+
+impl KvBackend for KvCache {
+    type Layer<'a> = &'a LayerKvCache;
+
+    fn num_layers(&self) -> usize {
+        KvCache::num_layers(self)
+    }
+
+    fn seq_len(&self) -> usize {
+        KvCache::seq_len(self)
+    }
+
+    fn append(&mut self, layer: usize, key: &[f32], value: &[f32], scheme: QuantScheme) {
+        self.layer_mut(layer).append(key, value, scheme);
+    }
+
+    fn layer_reader(&mut self, layer: usize) -> Self::Layer<'_> {
+        self.layer(layer)
+    }
+
+    fn materializations(&self) -> usize {
+        KvCache::materializations(self)
     }
 }
 

@@ -29,6 +29,7 @@ pub mod config;
 pub mod eval;
 pub mod kvcache;
 pub mod model;
+pub mod paging;
 pub mod quant_config;
 pub mod serving;
 pub mod tasks;
@@ -36,7 +37,8 @@ pub mod weights;
 
 pub use config::ModelConfig;
 pub use eval::{evaluate_perplexity, PerplexityReport};
-pub use kvcache::{KvCache, LayerKvCache};
+pub use kvcache::{KvBackend, KvCache, KvLayerReader, LayerKvCache};
 pub use model::{DecodePath, TransformerModel};
+pub use paging::{PagePool, PagedKvCache, PagingError};
 pub use quant_config::ModelQuantConfig;
-pub use serving::{ServingEngine, ServingReport};
+pub use serving::{FinishReason, Sequence, ServingEngine, ServingReport};

@@ -13,7 +13,7 @@ use mx_tensor::{kernels, Matrix};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{MlpKind, ModelConfig, NormKind};
-use crate::kvcache::{KvCache, LayerKvCache};
+use crate::kvcache::{KvBackend, KvCache, KvLayerReader, LayerKvCache};
 use crate::quant_config::ModelQuantConfig;
 use crate::weights::ModelWeights;
 
@@ -148,27 +148,52 @@ impl TransformerModel {
     /// Panics if `tokens` is empty or contains an id outside the vocabulary.
     #[must_use]
     pub fn forward_with_path(&self, tokens: &[usize], cache: &mut KvCache, path: DecodePath) -> Matrix {
-        assert!(!tokens.is_empty(), "token sequence must be non-empty");
-        let h = self.config.hidden;
-        let start_pos = cache.seq_len();
+        match path {
+            DecodePath::ZeroCopy => self.forward_backend(tokens, cache),
+            DecodePath::SeedClone => self.forward_seed(tokens, cache),
+        }
+    }
 
-        // Token embeddings (vector op: BF16 precision like the baseline).
-        let mut x = Matrix::from_fn(tokens.len(), h, |r, c| {
+    /// The zero-copy forward pass over any cache backend: the `f32` [`KvCache`] (where it
+    /// equals [`DecodePath::ZeroCopy`] exactly) or a bit-packed
+    /// [`PagedKvCache`](crate::paging::PagedKvCache). Because every backend serves rows
+    /// equal to `scheme.quantize_dequantize(row)` bit for bit, the logits — and therefore
+    /// the generated tokens — do not depend on the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id outside the vocabulary.
+    #[must_use]
+    pub fn forward_backend<B: KvBackend>(&self, tokens: &[usize], cache: &mut B) -> Matrix {
+        assert!(!tokens.is_empty(), "token sequence must be non-empty");
+        let start_pos = cache.seq_len();
+        let mut x = self.embed(tokens);
+        for layer in 0..self.config.layers {
+            x = self.layer_forward_backend(layer, &x, start_pos, cache);
+        }
+        let normed = self.apply_norm(&x, &self.weights.final_norm_gain, &self.weights.final_norm_bias);
+        normed.quantize_rows(self.quant.lm_head.activations).matmul(&self.cast.lm_head)
+    }
+
+    /// The seed's clone-based forward pass (see [`DecodePath::SeedClone`]).
+    fn forward_seed(&self, tokens: &[usize], cache: &mut KvCache) -> Matrix {
+        assert!(!tokens.is_empty(), "token sequence must be non-empty");
+        let start_pos = cache.seq_len();
+        let mut x = self.embed(tokens);
+        for layer in 0..self.config.layers {
+            x = self.layer_forward_seed(layer, &x, start_pos, cache);
+        }
+        let normed = self.apply_norm(&x, &self.weights.final_norm_gain, &self.weights.final_norm_bias);
+        normed.matmul_quantized(&self.weights.lm_head, self.quant.lm_head)
+    }
+
+    /// Token embeddings (vector op: BF16 precision like the baseline).
+    fn embed(&self, tokens: &[usize]) -> Matrix {
+        Matrix::from_fn(tokens.len(), self.config.hidden, |r, c| {
             let t = tokens[r];
             assert!(t < self.config.vocab, "token id {t} out of vocabulary");
             self.weights.embedding.get(t, c)
-        });
-
-        for layer in 0..self.config.layers {
-            x = self.layer_forward(layer, &x, start_pos, cache, path);
-        }
-
-        // Final norm + LM head.
-        let normed = self.apply_norm(&x, &self.weights.final_norm_gain, &self.weights.final_norm_bias);
-        match path {
-            DecodePath::ZeroCopy => normed.quantize_rows(self.quant.lm_head.activations).matmul(&self.cast.lm_head),
-            DecodePath::SeedClone => normed.matmul_quantized(&self.weights.lm_head, self.quant.lm_head),
-        }
+        })
     }
 
     /// Prefill convenience: runs `forward` with a fresh cache and returns `(logits, cache)`.
@@ -193,6 +218,14 @@ impl TransformerModel {
         logits.row(0).to_vec()
     }
 
+    /// Decodes a single token over any cache backend
+    /// (see [`TransformerModel::forward_backend`]).
+    #[must_use]
+    pub fn decode_step_backend<B: KvBackend>(&self, token: usize, cache: &mut B) -> Vec<f32> {
+        let logits = self.forward_backend(&[token], cache);
+        logits.row(0).to_vec()
+    }
+
     /// Greedy generation of `n` tokens after prefilling `prompt`.
     ///
     /// # Panics
@@ -211,13 +244,21 @@ impl TransformerModel {
         out
     }
 
-    /// Zero-copy attention: cached keys/values are read through borrowed row slices, the
-    /// cache is walked position-outer so every cached row is loaded once per query row
-    /// (not once per head), and the score/probability/query operands go through reusable
-    /// scratch buffers. Bit-identical to [`TransformerModel::attention_materialized`]:
-    /// every per-(head, position) dot product, softmax and accumulation runs in the same
-    /// order on the same values.
-    fn attention_views(&self, lcache: &LayerKvCache, q: &Matrix, start_pos: usize, attn_out: &mut Matrix) {
+    /// Zero-copy attention over any cache backend: cached keys/values are read row by row
+    /// through a [`KvLayerReader`] (borrowed slices on the `f32` backend, per-row packed
+    /// decodes on the paged backend), the cache is walked position-outer so every cached
+    /// row is loaded once per query row (not once per head), and the
+    /// score/probability/query operands go through reusable scratch buffers.
+    /// Bit-identical to [`TransformerModel::attention_materialized`]: every per-(head,
+    /// position) dot product, softmax and accumulation runs in the same order on the same
+    /// values.
+    fn attention_zero_copy<R: KvLayerReader>(
+        &self,
+        reader: &mut R,
+        q: &Matrix,
+        start_pos: usize,
+        attn_out: &mut Matrix,
+    ) {
         let cfg = &self.config;
         let head_dim = cfg.head_dim();
         let group = cfg.heads / cfg.kv_heads;
@@ -232,7 +273,7 @@ impl TransformerModel {
             self.quant.linear.activations.quantize_dequantize_into(q.row(r), &mut q_buf);
             scores.resize(cfg.heads * visible, 0.0);
             for t in 0..visible {
-                let key_row = lcache.key_row(t);
+                let key_row = reader.key_row(t);
                 for head in 0..cfg.heads {
                     let qs = head * head_dim;
                     let ks = (head / group) * head_dim;
@@ -253,7 +294,7 @@ impl TransformerModel {
             }
             let out_row = attn_out.row_mut(r);
             for t in 0..visible {
-                let value_row = lcache.value_row(t);
+                let value_row = reader.value_row(t);
                 for head in 0..cfg.heads {
                     let p = probs[head * visible + t];
                     if p == 0.0 {
@@ -320,108 +361,143 @@ impl TransformerModel {
         out
     }
 
-    fn layer_forward(
-        &self,
-        layer: usize,
-        x: &Matrix,
-        start_pos: usize,
-        cache: &mut KvCache,
-        path: DecodePath,
-    ) -> Matrix {
+    /// Applies rotary embeddings to the query/key rows in place (vector op, baseline
+    /// precision).
+    fn apply_rotary(&self, q: &mut Matrix, k: &mut Matrix, start_pos: usize) {
+        let cfg = &self.config;
+        if cfg.rope_theta <= 0.0 {
+            return;
+        }
+        let head_dim = cfg.head_dim();
+        for r in 0..q.rows() {
+            let pos = start_pos + r;
+            for head in 0..cfg.heads {
+                let s = head * head_dim;
+                kernels::apply_rope(&mut q.row_mut(r)[s..s + head_dim], pos, cfg.rope_theta);
+            }
+            for kv_head in 0..cfg.kv_heads {
+                let s = kv_head * head_dim;
+                kernels::apply_rope(&mut k.row_mut(r)[s..s + head_dim], pos, cfg.rope_theta);
+            }
+        }
+    }
+
+    /// One transformer layer on the zero-copy path, generic over the cache backend:
+    /// the shared activation operand is quantized once per projection group and
+    /// multiplied against the pre-cast weights; cache reads go through the backend's
+    /// per-layer row reader.
+    fn layer_forward_backend<B: KvBackend>(&self, layer: usize, x: &Matrix, start_pos: usize, cache: &mut B) -> Matrix {
         let lw = &self.weights.layers[layer];
         let cast = &self.cast.layers[layer];
         let cfg = &self.config;
-        let head_dim = cfg.head_dim();
         let seq = x.rows();
 
         // --- Attention ---
         let normed = self.apply_norm(x, &lw.attn_norm_gain, &lw.attn_norm_bias);
-        let (mut q, mut k, v) = match path {
-            DecodePath::ZeroCopy => {
-                // Quantize the shared activation operand once for all three projections
-                // and multiply against the pre-cast weights.
-                let a = normed.quantize_rows(self.quant.linear.activations);
-                (a.matmul(&cast.wq), a.matmul(&cast.wk), a.matmul(&cast.wv))
-            }
-            DecodePath::SeedClone => (
-                normed.matmul_quantized(&lw.wq, self.quant.linear),
-                normed.matmul_quantized(&lw.wk, self.quant.linear),
-                normed.matmul_quantized(&lw.wv, self.quant.linear),
-            ),
+        let (mut q, mut k, v) = {
+            // Quantize the shared activation operand once for all three projections
+            // and multiply against the pre-cast weights.
+            let a = normed.quantize_rows(self.quant.linear.activations);
+            (a.matmul(&cast.wq), a.matmul(&cast.wk), a.matmul(&cast.wv))
         };
-
-        // Rotary embeddings per head (vector op, baseline precision).
-        if cfg.rope_theta > 0.0 {
-            for r in 0..seq {
-                let pos = start_pos + r;
-                for head in 0..cfg.heads {
-                    let s = head * head_dim;
-                    kernels::apply_rope(&mut q.row_mut(r)[s..s + head_dim], pos, cfg.rope_theta);
-                }
-                for kv_head in 0..cfg.kv_heads {
-                    let s = kv_head * head_dim;
-                    kernels::apply_rope(&mut k.row_mut(r)[s..s + head_dim], pos, cfg.rope_theta);
-                }
-            }
-        }
+        self.apply_rotary(&mut q, &mut k, start_pos);
 
         // Append the new keys/values to the cache (stored quantized).
         for r in 0..seq {
-            cache.layer_mut(layer).append(k.row(r), v.row(r), self.quant.kv_cache);
+            cache.append(layer, k.row(r), v.row(r), self.quant.kv_cache);
         }
 
         // Attention per query position and head, causal over the cache.
-        let lcache = cache.layer(layer);
-        let mut attn_out = Matrix::zeros(seq, cfg.heads * head_dim);
-        match path {
-            DecodePath::ZeroCopy => self.attention_views(lcache, &q, start_pos, &mut attn_out),
-            DecodePath::SeedClone => self.attention_materialized(lcache, &q, start_pos, &mut attn_out),
-        }
+        let mut attn_out = Matrix::zeros(seq, cfg.heads * cfg.head_dim());
+        let mut reader = cache.layer_reader(layer);
+        self.attention_zero_copy(&mut reader, &q, start_pos, &mut attn_out);
+        drop(reader);
 
-        let attn_proj = match path {
-            DecodePath::ZeroCopy => attn_out.quantize_rows(self.quant.linear.activations).matmul(&cast.wo),
-            DecodePath::SeedClone => attn_out.matmul_quantized(&lw.wo, self.quant.linear),
-        };
+        let attn_proj = attn_out.quantize_rows(self.quant.linear.activations).matmul(&cast.wo);
         let x = x.add(&attn_proj);
 
         // --- MLP ---
         let normed = self.apply_norm(&x, &lw.mlp_norm_gain, &lw.mlp_norm_bias);
-        let project = |raw: &Matrix, cast_w: &Matrix, activations: &Matrix| match path {
-            DecodePath::ZeroCopy => activations.quantize_rows(self.quant.linear.activations).matmul(cast_w),
-            DecodePath::SeedClone => activations.matmul_quantized(raw, self.quant.linear),
+        let project = |cast_w: &Matrix, activations: &Matrix| {
+            activations.quantize_rows(self.quant.linear.activations).matmul(cast_w)
         };
         let mlp_out = match cfg.mlp {
             MlpKind::GatedSilu => {
-                let (gate, up) = match path {
-                    DecodePath::ZeroCopy => {
-                        let a = normed.quantize_rows(self.quant.linear.activations);
-                        (a.matmul(&cast.w_gate), a.matmul(&cast.w_up))
-                    }
-                    DecodePath::SeedClone => (
-                        normed.matmul_quantized(&lw.w_gate, self.quant.linear),
-                        normed.matmul_quantized(&lw.w_up, self.quant.linear),
-                    ),
+                let (gate, up) = {
+                    let a = normed.quantize_rows(self.quant.linear.activations);
+                    (a.matmul(&cast.w_gate), a.matmul(&cast.w_up))
                 };
-                let mut hidden = Matrix::zeros(seq, cfg.intermediate);
-                for r in 0..seq {
-                    for c in 0..cfg.intermediate {
-                        hidden.set(r, c, kernels::silu(gate.get(r, c)) * up.get(r, c));
-                    }
-                }
-                project(&lw.w_down, &cast.w_down, &hidden)
+                project(&cast.w_down, &self.gated_silu_hidden(&gate, &up))
             }
             MlpKind::Gelu => {
-                let fc1 = project(&lw.w_gate, &cast.w_gate, &normed);
-                let mut hidden = Matrix::zeros(seq, cfg.intermediate);
-                for r in 0..seq {
-                    for c in 0..cfg.intermediate {
-                        hidden.set(r, c, kernels::gelu(fc1.get(r, c)));
-                    }
-                }
-                project(&lw.w_down, &cast.w_down, &hidden)
+                let fc1 = project(&cast.w_gate, &normed);
+                project(&cast.w_down, &self.gelu_hidden(&fc1))
             }
         };
         x.add(&mlp_out)
+    }
+
+    /// One transformer layer on the seed's clone-based path: weight operands re-quantized
+    /// per projection, whole-cache materialization per attention call.
+    fn layer_forward_seed(&self, layer: usize, x: &Matrix, start_pos: usize, cache: &mut KvCache) -> Matrix {
+        let lw = &self.weights.layers[layer];
+        let cfg = &self.config;
+        let seq = x.rows();
+
+        // --- Attention ---
+        let normed = self.apply_norm(x, &lw.attn_norm_gain, &lw.attn_norm_bias);
+        let mut q = normed.matmul_quantized(&lw.wq, self.quant.linear);
+        let mut k = normed.matmul_quantized(&lw.wk, self.quant.linear);
+        let v = normed.matmul_quantized(&lw.wv, self.quant.linear);
+        self.apply_rotary(&mut q, &mut k, start_pos);
+
+        for r in 0..seq {
+            cache.layer_mut(layer).append(k.row(r), v.row(r), self.quant.kv_cache);
+        }
+
+        let mut attn_out = Matrix::zeros(seq, cfg.heads * cfg.head_dim());
+        self.attention_materialized(cache.layer(layer), &q, start_pos, &mut attn_out);
+
+        let attn_proj = attn_out.matmul_quantized(&lw.wo, self.quant.linear);
+        let x = x.add(&attn_proj);
+
+        // --- MLP ---
+        let normed = self.apply_norm(&x, &lw.mlp_norm_gain, &lw.mlp_norm_bias);
+        let project = |raw: &Matrix, activations: &Matrix| activations.matmul_quantized(raw, self.quant.linear);
+        let mlp_out = match cfg.mlp {
+            MlpKind::GatedSilu => {
+                let gate = normed.matmul_quantized(&lw.w_gate, self.quant.linear);
+                let up = normed.matmul_quantized(&lw.w_up, self.quant.linear);
+                project(&lw.w_down, &self.gated_silu_hidden(&gate, &up))
+            }
+            MlpKind::Gelu => {
+                let fc1 = project(&lw.w_gate, &normed);
+                project(&lw.w_down, &self.gelu_hidden(&fc1))
+            }
+        };
+        x.add(&mlp_out)
+    }
+
+    /// Element-wise `silu(gate) * up` of the gated MLP.
+    fn gated_silu_hidden(&self, gate: &Matrix, up: &Matrix) -> Matrix {
+        let mut hidden = Matrix::zeros(gate.rows(), self.config.intermediate);
+        for r in 0..gate.rows() {
+            for c in 0..self.config.intermediate {
+                hidden.set(r, c, kernels::silu(gate.get(r, c)) * up.get(r, c));
+            }
+        }
+        hidden
+    }
+
+    /// Element-wise GELU of the first MLP projection.
+    fn gelu_hidden(&self, fc1: &Matrix) -> Matrix {
+        let mut hidden = Matrix::zeros(fc1.rows(), self.config.intermediate);
+        for r in 0..fc1.rows() {
+            for c in 0..self.config.intermediate {
+                hidden.set(r, c, kernels::gelu(fc1.get(r, c)));
+            }
+        }
+        hidden
     }
 }
 
@@ -553,6 +629,38 @@ mod tests {
             for l in 0..cache_v.num_layers() {
                 assert_eq!(cache_v.layer(l), cache_m.layer(l), "cache contents diverge");
             }
+        }
+    }
+
+    #[test]
+    fn paged_backend_is_bit_identical_to_f32_zero_copy() {
+        // The packed-page backend must reproduce the f32 backend exactly — same logits at
+        // every step — because the row codec round-trips the scheme's quantization bit
+        // for bit. Checked under an MX scheme (bit-packed pages) and the baseline
+        // (fallback f32 pages).
+        use crate::paging::{PagePool, PagedKvCache};
+        use mx_formats::RowCodec;
+        for quant in [ModelQuantConfig::uniform(QuantScheme::mxfp4()), ModelQuantConfig::BASELINE] {
+            let model = tiny_model(quant);
+            let cfg = model.config().clone();
+            let kv_dim = cfg.head_dim() * cfg.kv_heads;
+            let scheme = quant.kv_cache;
+            let pool = PagePool::for_kv_rows(16, 8, RowCodec::for_scheme(scheme), kv_dim).shared();
+            let mut paged = PagedKvCache::new(&pool, cfg.layers, kv_dim, scheme, 30).unwrap();
+            let mut flat = model.new_cache();
+            let prompt = [3, 1, 4, 1, 5];
+            let lp = model.forward_backend(&prompt, &mut paged);
+            let lf = model.forward(&prompt, &mut flat);
+            assert_eq!(lp, lf, "prefill logits diverge under {}", quant.name());
+            let mut next = argmax(lp.row(lp.rows() - 1));
+            for step in 0..24 {
+                let sp = model.decode_step_backend(next, &mut paged);
+                let sf = model.decode_step(next, &mut flat);
+                assert_eq!(sp, sf, "decode step {step} diverges under {}", quant.name());
+                next = argmax(&sp);
+            }
+            assert_eq!(paged.seq_len(), flat.seq_len());
+            assert_eq!(crate::kvcache::KvBackend::materializations(&paged), 0);
         }
     }
 

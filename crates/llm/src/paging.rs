@@ -1,0 +1,717 @@
+//! Paged KV-cache storage with true bit-packed MX rows.
+//!
+//! The serving engine's original per-sequence [`KvCache`](crate::kvcache::KvCache) stores
+//! the **dequantized f32** of the quantized keys/values — it reports theoretical scheme
+//! bytes while actually holding 32-bit rows. This module closes that gap with two pieces:
+//!
+//! * [`PagePool`] — a shared, fixed-budget allocator of pages. Each page holds
+//!   [`PagePool::page_positions`] position *slots*, and each slot stores one key row and
+//!   one value row **genuinely bit-packed** with [`mx_formats::RowCodec`] (4/6/8-bit
+//!   element codes + shared scales for the MX/MX+ families; `f32` fallback otherwise).
+//!   The pool hands out pages against *reservations*, so a scheduler can admit a sequence
+//!   only when its worst-case footprint fits, and occupancy
+//!   ([`PagePool::resident_bytes`]) is a **measured** number, not scheme math.
+//! * [`PagedKvCache`] — one sequence's cache: a per-layer page table mapping position
+//!   `t → (table[t / page_positions], t % page_positions)`. Appends quantize-and-pack
+//!   straight into the slot; reads decode one row at a time into a reusable dequant
+//!   scratch buffer and serve it to the zero-copy attention loop through
+//!   [`KvLayerReader`], so no full-cache tensor is ever materialized.
+//!
+//! Because [`mx_formats::RowCodec`] round-trips bit-for-bit with
+//! `QuantScheme::quantize_dequantize` — the exact values the f32 backend stores — a
+//! decode over the paged backend is **token-identical** to the f32
+//! [`DecodePath::ZeroCopy`](crate::model::DecodePath) path. Dropping a [`PagedKvCache`]
+//! returns every page (and any unused reservation) to the pool, which is what lets the
+//! continuous-batching scheduler admit queued sequences as earlier ones finish.
+
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
+
+use mx_formats::{QuantScheme, RowCodec};
+
+use crate::kvcache::{KvBackend, KvLayerReader};
+
+/// Default number of position slots per page (the paged-attention block size).
+pub const DEFAULT_PAGE_POSITIONS: usize = 16;
+
+/// Errors of the paging subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagingError {
+    /// A reservation asked for more pages than the pool can currently provide.
+    OutOfPages {
+        /// Pages the reservation needed.
+        needed: usize,
+        /// Pages available (free and not reserved by other sequences).
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PagingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PagingError::OutOfPages { needed, available } => {
+                write!(f, "page pool exhausted: needed {needed} pages, {available} available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PagingError {}
+
+/// A fixed-budget allocator of KV-cache pages, shared by every sequence of a serving run.
+///
+/// The pool's backing storage is allocated once at construction (`pages × page_bytes`),
+/// mirroring how a real serving system pre-carves an accelerator's KV-cache arena. Pages
+/// move between three states: *free*, *reserved* (promised to an admitted sequence but
+/// not yet written) and *in use* (holding packed rows). [`PagePool::resident_bytes`]
+/// reports the in-use footprint — the measured occupancy a [`ServingReport`] exposes
+/// alongside the theoretical scheme bytes.
+///
+/// [`ServingReport`]: crate::serving::ServingReport
+#[derive(Debug)]
+pub struct PagePool {
+    page_positions: usize,
+    slot_bytes: usize,
+    data: Vec<u8>,
+    in_use: Vec<bool>,
+    free: Vec<usize>,
+    reserved: usize,
+}
+
+impl PagePool {
+    /// Creates a pool of `pages` pages, each holding `page_positions` slots of
+    /// `slot_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(pages: usize, page_positions: usize, slot_bytes: usize) -> Self {
+        assert!(pages > 0, "page pool must hold at least one page");
+        assert!(page_positions > 0, "pages must hold at least one position");
+        assert!(slot_bytes > 0, "slots must hold at least one byte");
+        PagePool {
+            page_positions,
+            slot_bytes,
+            data: vec![0u8; pages * page_positions * slot_bytes],
+            in_use: vec![false; pages],
+            free: (0..pages).rev().collect(),
+            reserved: 0,
+        }
+    }
+
+    /// Creates a pool whose slots each hold one packed key row plus one packed value row
+    /// of width `kv_dim` under `codec`.
+    #[must_use]
+    pub fn for_kv_rows(pages: usize, page_positions: usize, codec: RowCodec, kv_dim: usize) -> Self {
+        PagePool::new(pages, page_positions, 2 * codec.packed_bytes(kv_dim))
+    }
+
+    /// Wraps the pool for sharing between the scheduler and its sequences' caches.
+    #[must_use]
+    pub fn shared(self) -> Rc<RefCell<PagePool>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Number of position slots per page.
+    #[must_use]
+    pub fn page_positions(&self) -> usize {
+        self.page_positions
+    }
+
+    /// Bytes per position slot (packed key row + packed value row).
+    #[must_use]
+    pub fn slot_bytes(&self) -> usize {
+        self.slot_bytes
+    }
+
+    /// Bytes per page.
+    #[must_use]
+    pub fn page_bytes(&self) -> usize {
+        self.page_positions * self.slot_bytes
+    }
+
+    /// Total pages in the pool (the global budget).
+    #[must_use]
+    pub fn total_pages(&self) -> usize {
+        self.in_use.len()
+    }
+
+    /// Pages not currently holding data (free or merely reserved).
+    #[must_use]
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pages holding packed rows right now.
+    #[must_use]
+    pub fn in_use_pages(&self) -> usize {
+        self.total_pages() - self.free_pages()
+    }
+
+    /// Pages promised to admitted sequences but not yet written.
+    #[must_use]
+    pub fn reserved_pages(&self) -> usize {
+        self.reserved
+    }
+
+    /// Pages a new reservation could still claim.
+    #[must_use]
+    pub fn available_pages(&self) -> usize {
+        self.free_pages() - self.reserved
+    }
+
+    /// Measured pool occupancy in bytes: in-use pages times the page size.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.in_use_pages() * self.page_bytes()
+    }
+
+    /// Reserves `pages` pages for a sequence being admitted. Returns `false` (reserving
+    /// nothing) if fewer than `pages` are available.
+    pub fn try_reserve(&mut self, pages: usize) -> bool {
+        if self.available_pages() < pages {
+            return false;
+        }
+        self.reserved += pages;
+        true
+    }
+
+    /// Returns an unused reservation of `pages` pages to the available set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more pages are returned than are currently reserved.
+    pub fn unreserve(&mut self, pages: usize) {
+        assert!(pages <= self.reserved, "unreserving more pages than reserved");
+        self.reserved -= pages;
+    }
+
+    /// Converts one reserved page into an allocated (in-use) page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is reserved — allocation is only legal against a reservation,
+    /// which is what makes admission decisions binding.
+    fn alloc_reserved(&mut self) -> usize {
+        assert!(self.reserved > 0, "allocating without a reservation");
+        let page = self.free.pop().expect("reserved pages must be free");
+        self.reserved -= 1;
+        debug_assert!(!self.in_use[page]);
+        self.in_use[page] = true;
+        page
+    }
+
+    /// Returns an in-use page to the free set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already free (double free).
+    fn free_page(&mut self, page: usize) {
+        assert!(self.in_use[page], "double free of page {page}");
+        self.in_use[page] = false;
+        self.free.push(page);
+    }
+
+    /// The packed bytes of one position slot.
+    fn slot(&self, page: usize, slot: usize) -> &[u8] {
+        let start = (page * self.page_positions + slot) * self.slot_bytes;
+        &self.data[start..start + self.slot_bytes]
+    }
+
+    /// Mutable access to one position slot.
+    fn slot_mut(&mut self, page: usize, slot: usize) -> &mut [u8] {
+        let start = (page * self.page_positions + slot) * self.slot_bytes;
+        &mut self.data[start..start + self.slot_bytes]
+    }
+}
+
+/// One sequence's KV cache stored bit-packed in pool pages (see the [module
+/// docs](crate::paging)).
+///
+/// Construction reserves the sequence's worst-case page count
+/// (`layers × ⌈capacity_positions / page_positions⌉`) so that appends within the stated
+/// capacity can never fail mid-decode; pages are physically allocated lazily as positions
+/// are written and returned to the pool when the cache is dropped.
+#[derive(Debug)]
+pub struct PagedKvCache {
+    pool: Rc<RefCell<PagePool>>,
+    scheme: QuantScheme,
+    codec: RowCodec,
+    kv_dim: usize,
+    row_bytes: usize,
+    /// Pages still reserved for each layer but not yet allocated. Tracked per layer so
+    /// one layer growing past its own share can never consume a page reserved for —
+    /// and still guaranteed to — another layer's in-capacity appends.
+    layer_reserved: Vec<usize>,
+    /// Per-layer page tables: position `t` lives in `tables[layer][t / page_positions]`.
+    tables: Vec<Vec<usize>>,
+    /// Per-layer appended lengths (layers fill in lock-step during a forward pass).
+    lens: Vec<usize>,
+    /// Reusable dequant scratch the layer readers decode key rows into.
+    key_scratch: Vec<f32>,
+    /// Reusable dequant scratch the layer readers decode value rows into.
+    value_scratch: Vec<f32>,
+}
+
+impl PagedKvCache {
+    /// Pages a cache of `layers` layers and `positions` positions needs from `pool`.
+    #[must_use]
+    pub fn pages_needed(pool: &PagePool, layers: usize, positions: usize) -> usize {
+        layers * positions.div_ceil(pool.page_positions())
+    }
+
+    /// Creates a cache for `layers` layers of width `kv_dim`, reserving pages for up to
+    /// `capacity_positions` positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PagingError::OutOfPages`] (reserving nothing) if the pool cannot cover
+    /// the worst case — the admission-control signal of the continuous-batching
+    /// scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's slot size does not match `kv_dim` under the scheme's codec.
+    pub fn new(
+        pool: &Rc<RefCell<PagePool>>,
+        layers: usize,
+        kv_dim: usize,
+        scheme: QuantScheme,
+        capacity_positions: usize,
+    ) -> Result<Self, PagingError> {
+        let codec = RowCodec::for_scheme(scheme);
+        let row_bytes = codec.packed_bytes(kv_dim);
+        let per_layer = {
+            let mut p = pool.borrow_mut();
+            assert_eq!(2 * row_bytes, p.slot_bytes(), "pool slot size does not match kv_dim under this scheme");
+            // Reserve exactly what `pages_needed` promises the scheduler, so the
+            // admission decision and the reservation can never diverge.
+            let needed = Self::pages_needed(&p, layers, capacity_positions);
+            if !p.try_reserve(needed) {
+                return Err(PagingError::OutOfPages { needed, available: p.available_pages() });
+            }
+            capacity_positions.div_ceil(p.page_positions())
+        };
+        Ok(PagedKvCache {
+            pool: Rc::clone(pool),
+            scheme,
+            codec,
+            kv_dim,
+            row_bytes,
+            layer_reserved: vec![per_layer; layers],
+            tables: vec![Vec::new(); layers],
+            lens: vec![0; layers],
+            key_scratch: vec![0.0; kv_dim],
+            value_scratch: vec![0.0; kv_dim],
+        })
+    }
+
+    /// The quantization scheme rows are packed with.
+    #[must_use]
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// Key/value width.
+    #[must_use]
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Sequence length currently cached (same for every layer).
+    #[must_use]
+    pub fn seq_len(&self) -> usize {
+        self.lens.first().copied().unwrap_or(0)
+    }
+
+    /// Pages this cache has physically allocated.
+    #[must_use]
+    pub fn allocated_pages(&self) -> usize {
+        self.tables.iter().map(Vec::len).sum()
+    }
+
+    /// Measured resident footprint: allocated pages times the page size (page-granular,
+    /// so it includes the slack of partially filled trailing pages).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.allocated_pages() * self.pool.borrow().page_bytes()
+    }
+
+    /// Exact packed bytes of the rows written so far (no page slack).
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.lens.iter().map(|len| 2 * len * self.row_bytes).sum()
+    }
+
+    /// Appends one position's key and value rows to `layer`, quantized with the cache's
+    /// scheme and packed straight into the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not have width `kv_dim`, or if a new page is needed and the
+    /// pool is exhausted beyond this cache's reservation (appends within the construction
+    /// capacity never hit this).
+    pub fn append(&mut self, layer: usize, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), self.kv_dim, "key width mismatch");
+        assert_eq!(value.len(), self.kv_dim, "value width mismatch");
+        let t = self.lens[layer];
+        let mut pool = self.pool.borrow_mut();
+        let pp = pool.page_positions();
+        if t == self.tables[layer].len() * pp {
+            // A layer growing past its own reserved share must fund the page from the
+            // pool's free headroom — never from another layer's reservation, so appends
+            // within the construction capacity stay infallible in any layer order.
+            if self.layer_reserved[layer] == 0 {
+                assert!(pool.try_reserve(1), "page pool exhausted: cache grew past its reservation");
+                self.layer_reserved[layer] += 1;
+            }
+            let page = pool.alloc_reserved();
+            self.layer_reserved[layer] -= 1;
+            self.tables[layer].push(page);
+        }
+        let page = self.tables[layer][t / pp];
+        let slot = pool.slot_mut(page, t % pp);
+        let (key_slot, value_slot) = slot.split_at_mut(self.row_bytes);
+        self.codec.pack_row_into(key, key_slot);
+        self.codec.pack_row_into(value, value_slot);
+        self.lens[layer] = t + 1;
+    }
+
+    /// Returns every allocated page and any unused reservation to the pool, emptying the
+    /// cache. Also invoked by `Drop`, which is how a retiring sequence funds the
+    /// admission of queued ones.
+    pub fn release(&mut self) {
+        let mut pool = self.pool.borrow_mut();
+        for table in &mut self.tables {
+            for page in table.drain(..) {
+                pool.free_page(page);
+            }
+        }
+        pool.unreserve(self.layer_reserved.iter().sum());
+        self.layer_reserved.fill(0);
+        self.lens.fill(0);
+    }
+}
+
+impl Drop for PagedKvCache {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// Per-layer row reader of a [`PagedKvCache`]: resolves positions through the page table
+/// and decodes the packed slot into the cache's reusable dequant scratch buffers.
+#[derive(Debug)]
+pub struct PagedLayerReader<'a> {
+    pool: Ref<'a, PagePool>,
+    table: &'a [usize],
+    codec: RowCodec,
+    row_bytes: usize,
+    page_positions: usize,
+    len: usize,
+    key_scratch: &'a mut [f32],
+    value_scratch: &'a mut [f32],
+}
+
+impl KvLayerReader for PagedLayerReader<'_> {
+    fn key_row(&mut self, t: usize) -> &[f32] {
+        assert!(t < self.len, "position out of bounds");
+        let slot = self.pool.slot(self.table[t / self.page_positions], t % self.page_positions);
+        // Decode through the scratch buffer: one row lives at a time, nothing larger than
+        // kv_dim is ever materialized.
+        self.codec.unpack_row_into(&slot[..self.row_bytes], self.key_scratch);
+        self.key_scratch
+    }
+
+    fn value_row(&mut self, t: usize) -> &[f32] {
+        assert!(t < self.len, "position out of bounds");
+        let slot = self.pool.slot(self.table[t / self.page_positions], t % self.page_positions);
+        self.codec.unpack_row_into(&slot[self.row_bytes..], self.value_scratch);
+        self.value_scratch
+    }
+}
+
+impl KvBackend for PagedKvCache {
+    type Layer<'a> = PagedLayerReader<'a>;
+
+    fn num_layers(&self) -> usize {
+        PagedKvCache::num_layers(self)
+    }
+
+    fn seq_len(&self) -> usize {
+        PagedKvCache::seq_len(self)
+    }
+
+    fn append(&mut self, layer: usize, key: &[f32], value: &[f32], scheme: QuantScheme) {
+        assert_eq!(scheme, self.scheme, "append scheme does not match the packed storage scheme");
+        PagedKvCache::append(self, layer, key, value);
+    }
+
+    fn layer_reader(&mut self, layer: usize) -> Self::Layer<'_> {
+        PagedLayerReader {
+            pool: self.pool.borrow(),
+            table: &self.tables[layer],
+            codec: self.codec,
+            row_bytes: self.row_bytes,
+            page_positions: self.pool.borrow().page_positions(),
+            len: self.lens[layer],
+            key_scratch: &mut self.key_scratch,
+            value_scratch: &mut self.value_scratch,
+        }
+    }
+
+    fn materializations(&self) -> usize {
+        // No full-cache accessor exists on this backend; reads are per-row by design.
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kvcache::LayerKvCache;
+
+    fn sample_row(kv_dim: usize, salt: usize) -> Vec<f32> {
+        (0..kv_dim)
+            .map(|i| {
+                let u = (((i + salt) * 2_654_435_761) % 2001) as f32 / 1000.0 - 1.0;
+                if (i + salt) % 37 == 5 {
+                    u * 30.0
+                } else {
+                    u
+                }
+            })
+            .collect()
+    }
+
+    fn pool_64(scheme: QuantScheme) -> Rc<RefCell<PagePool>> {
+        PagePool::for_kv_rows(16, 4, RowCodec::for_scheme(scheme), 64).shared()
+    }
+
+    #[test]
+    fn pool_accounting_starts_empty() {
+        let pool = PagePool::for_kv_rows(8, 16, RowCodec::for_scheme(QuantScheme::mxfp4()), 64);
+        assert_eq!(pool.total_pages(), 8);
+        assert_eq!(pool.free_pages(), 8);
+        assert_eq!(pool.available_pages(), 8);
+        assert_eq!(pool.in_use_pages(), 0);
+        assert_eq!(pool.resident_bytes(), 0);
+        // MXFP4 row of 64 elements packs to 34 bytes; a slot holds K + V.
+        assert_eq!(pool.slot_bytes(), 68);
+        assert_eq!(pool.page_bytes(), 16 * 68);
+    }
+
+    #[test]
+    fn reservation_gates_admission() {
+        let pool = pool_64(QuantScheme::mxfp4());
+        // 16 pages of 4 positions, 2 layers: a 20-position cache needs 2 * 5 = 10 pages.
+        let a = PagedKvCache::new(&pool, 2, 64, QuantScheme::mxfp4(), 20).unwrap();
+        assert_eq!(pool.borrow().reserved_pages(), 10);
+        assert_eq!(pool.borrow().available_pages(), 6);
+        // A second identical cache cannot be admitted...
+        let denied = PagedKvCache::new(&pool, 2, 64, QuantScheme::mxfp4(), 20);
+        assert_eq!(denied.err(), Some(PagingError::OutOfPages { needed: 10, available: 6 }));
+        // ...and the failed attempt reserved nothing.
+        assert_eq!(pool.borrow().reserved_pages(), 10);
+        drop(a);
+        assert_eq!(pool.borrow().reserved_pages(), 0);
+        assert_eq!(pool.borrow().available_pages(), 16);
+    }
+
+    #[test]
+    fn appends_allocate_lazily_and_reads_round_trip() {
+        let scheme = QuantScheme::mxfp4_plus();
+        let pool = pool_64(scheme);
+        let mut cache = PagedKvCache::new(&pool, 2, 64, scheme, 8).unwrap();
+        assert_eq!(cache.allocated_pages(), 0);
+        for t in 0..8 {
+            for layer in 0..2 {
+                cache.append(layer, &sample_row(64, t), &sample_row(64, t + 100));
+            }
+        }
+        assert_eq!(cache.seq_len(), 8);
+        // 8 positions at 4 per page: 2 pages per layer, all of the reservation used.
+        assert_eq!(cache.allocated_pages(), 4);
+        assert_eq!(pool.borrow().reserved_pages(), 0);
+        assert_eq!(pool.borrow().resident_bytes(), cache.resident_bytes());
+        // Reads decode to exactly the scheme's fake quantization (what the f32 cache
+        // would have stored).
+        let mut reader = cache.layer_reader(1);
+        for t in 0..8 {
+            assert_eq!(reader.key_row(t), scheme.quantize_dequantize(&sample_row(64, t)));
+            assert_eq!(reader.value_row(t), scheme.quantize_dequantize(&sample_row(64, t + 100)));
+        }
+    }
+
+    #[test]
+    fn paged_rows_match_the_f32_backend_bit_for_bit() {
+        let scheme = QuantScheme::mxfp4();
+        let pool = pool_64(scheme);
+        let mut paged = PagedKvCache::new(&pool, 1, 64, scheme, 6).unwrap();
+        let mut f32cache = LayerKvCache::new(64);
+        for t in 0..6 {
+            let (k, v) = (sample_row(64, t * 3), sample_row(64, t * 7 + 1));
+            paged.append(0, &k, &v);
+            f32cache.append(&k, &v, scheme);
+        }
+        let mut reader = paged.layer_reader(0);
+        for t in 0..6 {
+            assert_eq!(reader.key_row(t), f32cache.key_row(t), "key row {t}");
+            assert_eq!(reader.value_row(t), f32cache.value_row(t), "value row {t}");
+        }
+    }
+
+    #[test]
+    fn packed_resident_bytes_undercut_f32_by_the_scheme_ratio() {
+        let scheme = QuantScheme::mxfp4();
+        let pool = PagePool::for_kv_rows(64, 16, RowCodec::for_scheme(scheme), 64).shared();
+        let mut cache = PagedKvCache::new(&pool, 2, 64, scheme, 64).unwrap();
+        for t in 0..64 {
+            for layer in 0..2 {
+                cache.append(layer, &sample_row(64, t), &sample_row(64, t + 9));
+            }
+        }
+        // f32 storage of the same rows: 2 layers * 64 positions * 2 rows * 64 * 4 bytes.
+        let f32_bytes = 2 * 64 * 2 * 64 * 4;
+        assert!(
+            cache.resident_bytes() * 4 <= f32_bytes,
+            "packed pages must be >=4x below f32: {} vs {f32_bytes}",
+            cache.resident_bytes()
+        );
+        assert_eq!(cache.packed_bytes(), 2 * 64 * 2 * 34);
+    }
+
+    #[test]
+    fn release_returns_everything_and_is_idempotent() {
+        let pool = pool_64(QuantScheme::mxfp4());
+        let mut cache = PagedKvCache::new(&pool, 2, 64, QuantScheme::mxfp4(), 10).unwrap();
+        for layer in 0..2 {
+            cache.append(layer, &[0.5; 64], &[0.25; 64]);
+        }
+        assert!(pool.borrow().in_use_pages() > 0);
+        cache.release();
+        assert_eq!(cache.seq_len(), 0);
+        assert_eq!(pool.borrow().in_use_pages(), 0);
+        assert_eq!(pool.borrow().reserved_pages(), 0);
+        cache.release(); // nothing left to free, nothing to double-free
+        drop(cache); // Drop after release is also a no-op
+        assert_eq!(pool.borrow().free_pages(), 16);
+    }
+
+    #[test]
+    fn admit_evict_churn_never_leaks_or_double_frees() {
+        // Deterministic admit/evict churn: a few live caches of pseudo-random sizes are
+        // created and dropped out of order against a small pool; the page accounting must
+        // balance after every step and drain to empty at the end.
+        let scheme = QuantScheme::mxfp4_plus();
+        let pool = PagePool::for_kv_rows(24, 4, RowCodec::for_scheme(scheme), 64).shared();
+        let mut live: Vec<PagedKvCache> = Vec::new();
+        let mut admitted = 0usize;
+        for step in 0..200usize {
+            let positions = 1 + (step * 2_654_435_761) % 12;
+            match PagedKvCache::new(&pool, 2, 64, scheme, positions) {
+                Ok(mut cache) => {
+                    let fill = positions - (step % 2); // sometimes underfill the reservation
+                    for t in 0..fill {
+                        for layer in 0..2 {
+                            cache.append(layer, &sample_row(64, t + step), &sample_row(64, t + step + 7));
+                        }
+                    }
+                    live.push(cache);
+                    admitted += 1;
+                }
+                Err(PagingError::OutOfPages { .. }) => {
+                    // Evict the oldest live cache and retry once; its pages must fund us.
+                    assert!(!live.is_empty(), "empty pool denied a reservation");
+                    live.remove(0);
+                }
+            }
+            if step % 7 == 3 && !live.is_empty() {
+                live.remove(live.len() / 2);
+            }
+            let p = pool.borrow();
+            let held: usize = live.iter().map(PagedKvCache::allocated_pages).sum();
+            assert_eq!(p.in_use_pages(), held, "step {step}: pages in use must equal pages held by live caches");
+            assert!(p.free_pages() + held == p.total_pages(), "step {step}: leak detected");
+        }
+        assert!(admitted > 50, "churn must actually admit sequences");
+        live.clear();
+        let p = pool.borrow();
+        assert_eq!(p.free_pages(), p.total_pages());
+        assert_eq!(p.reserved_pages(), 0);
+        assert_eq!(p.resident_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn pool_rejects_double_free() {
+        let mut pool = PagePool::new(2, 4, 8);
+        assert!(pool.try_reserve(1));
+        let page = pool.alloc_reserved();
+        pool.free_page(page);
+        pool.free_page(page);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocating without a reservation")]
+    fn pool_rejects_unreserved_allocation() {
+        let mut pool = PagePool::new(2, 4, 8);
+        let _ = pool.alloc_reserved();
+    }
+
+    #[test]
+    #[should_panic(expected = "cache grew past its reservation")]
+    fn growth_cannot_steal_another_layers_reservation() {
+        // 2-page pool, fully reserved as one page per layer (capacity 4 at 4 positions
+        // per page). Layer 0 growing to a 5th position must fail *at the growth append*:
+        // funding it from layer 1's reserved page would instead move the panic onto
+        // layer 1's first in-capacity append, breaking the documented guarantee.
+        let scheme = QuantScheme::mxfp4();
+        let pool = PagePool::for_kv_rows(2, 4, RowCodec::for_scheme(scheme), 64).shared();
+        let mut cache = PagedKvCache::new(&pool, 2, 64, scheme, 4).unwrap();
+        for t in 0..4 {
+            cache.append(0, &sample_row(64, t), &sample_row(64, t));
+        }
+        cache.append(0, &sample_row(64, 4), &sample_row(64, 4));
+    }
+
+    #[test]
+    fn uneven_layer_append_order_within_capacity_never_panics() {
+        // The in-capacity guarantee must hold in any append order: fill layer 0 to its
+        // full capacity before layer 1 sees a single row, against a pool with zero
+        // spare pages beyond the reservation.
+        let scheme = QuantScheme::mxfp4();
+        let pool = PagePool::for_kv_rows(4, 4, RowCodec::for_scheme(scheme), 64).shared();
+        let mut cache = PagedKvCache::new(&pool, 2, 64, scheme, 8).unwrap();
+        assert_eq!(pool.borrow().available_pages(), 0);
+        for t in 0..8 {
+            cache.append(0, &sample_row(64, t), &sample_row(64, t));
+        }
+        for t in 0..8 {
+            cache.append(1, &sample_row(64, t), &sample_row(64, t));
+        }
+        assert_eq!(cache.allocated_pages(), 4);
+        drop(cache);
+        assert_eq!(pool.borrow().free_pages(), 4);
+    }
+
+    #[test]
+    fn growth_past_reservation_extends_when_pool_allows() {
+        let pool = pool_64(QuantScheme::mxfp4());
+        let mut cache = PagedKvCache::new(&pool, 1, 64, QuantScheme::mxfp4(), 4).unwrap();
+        for t in 0..12 {
+            cache.append(0, &sample_row(64, t), &sample_row(64, t));
+        }
+        assert_eq!(cache.seq_len(), 12);
+        assert_eq!(cache.allocated_pages(), 3); // 1 reserved + 2 grown
+        drop(cache);
+        assert_eq!(pool.borrow().free_pages(), 16);
+    }
+}
