@@ -79,5 +79,32 @@ fn batched_serving(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, decode_view_vs_clone, batched_serving);
+/// Thread-scaling sweep of the f32-contiguous engine (the paged twin lives in the
+/// `kv_paging` bench): 16 resident sequences decoding in lock-step across 1/2/4/8 decode
+/// worker threads. Sequences are independent, so wall time should fall with hardware
+/// threads while the generated streams stay bit-identical (pinned by the `mx-llm` tests).
+fn serving_thread_scaling(c: &mut Criterion) {
+    let model = bench_model();
+    const RESIDENT: usize = 16;
+    const NEW_TOKENS: usize = 24;
+    let mut group = c.benchmark_group("decode_thread_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("f32_seqs16", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let mut engine = ServingEngine::new(&model).with_threads(threads);
+                for s in 0..RESIDENT {
+                    let prompt: Vec<usize> = (0..8).map(|i| (s * 11 + i * 3) % 128).collect();
+                    engine.submit(&prompt, NEW_TOKENS);
+                }
+                let report = engine.run();
+                assert_eq!(report.generated_tokens, RESIDENT * NEW_TOKENS);
+                report.generated_tokens
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, decode_view_vs_clone, batched_serving, serving_thread_scaling);
 criterion_main!(benches);

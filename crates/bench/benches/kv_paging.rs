@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mx_formats::RowCodec;
 use mx_llm::kvcache::KvBackend;
 use mx_llm::model::argmax;
-use mx_llm::{KvCache, ModelConfig, ModelQuantConfig, PagePool, PagedKvCache, TransformerModel};
+use mx_llm::{KvCache, ModelConfig, ModelQuantConfig, PagePool, PagedKvCache, ServingEngine, TransformerModel};
 
 /// Tokens decoded per measured iteration after the cache is rebuilt.
 const DECODE_TOKENS: usize = 8;
@@ -111,5 +111,44 @@ fn paged_vs_f32(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, paged_vs_f32);
+/// Thread-scaling sweep of the paged continuous-batching engine: the same oversubscribed
+/// workload (resident sequences decoding in lock-step) at 1/2/4/8 decode worker threads.
+/// Within a pass every sequence owns its pages, so the decode steps parallelize; the
+/// measured wall time of `run()` is the number the README's scaling table reports.
+/// (On a single hardware thread the sweep degenerates gracefully: the worker pool adds
+/// only scoped-spawn overhead.)
+fn thread_scaling(c: &mut Criterion) {
+    let model = bench_model();
+    let cfg = model.config().clone();
+    const PROMPT: usize = 8;
+    const NEW_TOKENS: usize = 24;
+    let mut group = c.benchmark_group("serving_thread_scaling");
+    group.sample_size(10);
+    for resident in [8usize, 16, 32] {
+        // Size the pool so every sequence is admitted immediately: the sweep measures
+        // decode parallelism, not admission waves.
+        let pages = resident * cfg.layers * (PROMPT + NEW_TOKENS + 1).div_ceil(PAGE_POSITIONS);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("paged_seqs{resident}"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let mut engine = ServingEngine::paged(&model, pages).with_threads(threads);
+                        for s in 0..resident {
+                            let prompt: Vec<usize> = (0..PROMPT).map(|i| (s * 13 + i * 7) % 128).collect();
+                            engine.submit(&prompt, NEW_TOKENS);
+                        }
+                        let report = engine.run();
+                        assert_eq!(report.generated_tokens, resident * NEW_TOKENS);
+                        report.generated_tokens
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, paged_vs_f32, thread_scaling);
 criterion_main!(benches);

@@ -22,14 +22,14 @@
 //! in pool-allocated pages. Both backends feed the attention loop through a per-layer
 //! [`KvLayerReader`], so the zero-materialization invariant is backend-independent.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mx_formats::QuantScheme;
 use mx_tensor::{Matrix, MatrixView};
 use serde::{Deserialize, Serialize};
 
 /// The KV cache of one attention layer: keys and values appended token by token.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct LayerKvCache {
     kv_dim: usize,
     keys: Vec<f32>,
@@ -38,7 +38,22 @@ pub struct LayerKvCache {
     /// Reusable per-append quantization buffer (never observable through the read API).
     scratch: Vec<f32>,
     /// Number of full-tensor materializations served (legacy `keys()` / `values()`).
-    materializations: Cell<usize>,
+    /// Atomic (not `Cell`) so the cache stays `Sync` and sequences can move freely
+    /// between decode worker threads.
+    materializations: AtomicUsize,
+}
+
+impl Clone for LayerKvCache {
+    fn clone(&self) -> Self {
+        LayerKvCache {
+            kv_dim: self.kv_dim,
+            keys: self.keys.clone(),
+            values: self.values.clone(),
+            len: self.len,
+            scratch: self.scratch.clone(),
+            materializations: AtomicUsize::new(self.materializations()),
+        }
+    }
 }
 
 impl PartialEq for LayerKvCache {
@@ -65,7 +80,7 @@ impl LayerKvCache {
             values: Vec::with_capacity(positions * kv_dim),
             len: 0,
             scratch: Vec::new(),
-            materializations: Cell::new(0),
+            materializations: AtomicUsize::new(0),
         }
     }
 
@@ -154,14 +169,14 @@ impl LayerKvCache {
     /// [`LayerKvCache::materializations`].
     #[must_use]
     pub fn keys(&self) -> Matrix {
-        self.materializations.set(self.materializations.get() + 1);
+        self.materializations.fetch_add(1, Ordering::Relaxed);
         self.keys_view().to_matrix()
     }
 
     /// The cached values as an owned `(len, kv_dim)` matrix (see [`LayerKvCache::keys`]).
     #[must_use]
     pub fn values(&self) -> Matrix {
-        self.materializations.set(self.materializations.get() + 1);
+        self.materializations.fetch_add(1, Ordering::Relaxed);
         self.values_view().to_matrix()
     }
 
@@ -170,7 +185,7 @@ impl LayerKvCache {
     /// this at zero; tests assert on it instead of timing.
     #[must_use]
     pub fn materializations(&self) -> usize {
-        self.materializations.get()
+        self.materializations.load(Ordering::Relaxed)
     }
 
     /// Clears the cache (retaining storage).
@@ -325,6 +340,14 @@ pub trait KvBackend {
     where
         Self: 'a;
 
+    /// Reusable per-read working memory the backend's readers decode rows into. Owned by
+    /// the *caller* — in the threaded serving engine, by the worker thread — rather than
+    /// the cache, so one scratch serves every sequence a worker steps and the caches
+    /// themselves stay free of read-side mutable state. `()` for backends whose reads
+    /// borrow storage directly (the f32 [`KvCache`]); a buffer pair for the paged backend
+    /// ([`PagedScratch`](crate::paging::PagedScratch)).
+    type Scratch: Default + Send + std::fmt::Debug;
+
     /// Number of layers.
     fn num_layers(&self) -> usize;
 
@@ -334,8 +357,8 @@ pub trait KvBackend {
     /// Appends one position's key and value rows to `layer`, quantized with `scheme`.
     fn append(&mut self, layer: usize, key: &[f32], value: &[f32], scheme: QuantScheme);
 
-    /// A row reader over `layer`'s cached positions.
-    fn layer_reader(&mut self, layer: usize) -> Self::Layer<'_>;
+    /// A row reader over `layer`'s cached positions, decoding through `scratch`.
+    fn layer_reader<'a>(&'a mut self, layer: usize, scratch: &'a mut Self::Scratch) -> Self::Layer<'a>;
 
     /// Full-tensor materializations served so far (0 on every hot path).
     fn materializations(&self) -> usize;
@@ -353,6 +376,7 @@ impl KvLayerReader for &LayerKvCache {
 
 impl KvBackend for KvCache {
     type Layer<'a> = &'a LayerKvCache;
+    type Scratch = ();
 
     fn num_layers(&self) -> usize {
         KvCache::num_layers(self)
@@ -366,7 +390,7 @@ impl KvBackend for KvCache {
         self.layer_mut(layer).append(key, value, scheme);
     }
 
-    fn layer_reader(&mut self, layer: usize) -> Self::Layer<'_> {
+    fn layer_reader<'a>(&'a mut self, layer: usize, (): &'a mut ()) -> Self::Layer<'a> {
         self.layer(layer)
     }
 

@@ -31,6 +31,7 @@ pub mod kvcache;
 pub mod model;
 pub mod paging;
 pub mod quant_config;
+pub mod sampling;
 pub mod serving;
 pub mod tasks;
 pub mod weights;
@@ -39,6 +40,7 @@ pub use config::ModelConfig;
 pub use eval::{evaluate_perplexity, PerplexityReport};
 pub use kvcache::{KvBackend, KvCache, KvLayerReader, LayerKvCache};
 pub use model::{DecodePath, TransformerModel};
-pub use paging::{PagePool, PagedKvCache, PagingError};
+pub use paging::{PagePool, PagedKvCache, PagedScratch, PagingError};
 pub use quant_config::ModelQuantConfig;
+pub use sampling::{Sampling, SamplingPolicy, SeqRng};
 pub use serving::{FinishReason, Sequence, ServingEngine, ServingReport};

@@ -160,16 +160,39 @@ impl TransformerModel {
     /// equal to `scheme.quantize_dequantize(row)` bit for bit, the logits — and therefore
     /// the generated tokens — do not depend on the backend.
     ///
+    /// Allocates a fresh [`KvBackend::Scratch`] per call; loops that decode many tokens
+    /// (or worker threads stepping many sequences) should hold one scratch and call
+    /// [`TransformerModel::forward_backend_with_scratch`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `tokens` is empty or contains an id outside the vocabulary.
     #[must_use]
     pub fn forward_backend<B: KvBackend>(&self, tokens: &[usize], cache: &mut B) -> Matrix {
+        let mut scratch = B::Scratch::default();
+        self.forward_backend_with_scratch(tokens, cache, &mut scratch)
+    }
+
+    /// [`TransformerModel::forward_backend`] decoding cache rows through a caller-owned
+    /// `scratch` — the reusable working memory a decode worker thread carries across all
+    /// the sequences it steps (see
+    /// [`PagedScratch`](crate::paging::PagedScratch)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id outside the vocabulary.
+    #[must_use]
+    pub fn forward_backend_with_scratch<B: KvBackend>(
+        &self,
+        tokens: &[usize],
+        cache: &mut B,
+        scratch: &mut B::Scratch,
+    ) -> Matrix {
         assert!(!tokens.is_empty(), "token sequence must be non-empty");
         let start_pos = cache.seq_len();
         let mut x = self.embed(tokens);
         for layer in 0..self.config.layers {
-            x = self.layer_forward_backend(layer, &x, start_pos, cache);
+            x = self.layer_forward_backend(layer, &x, start_pos, cache, scratch);
         }
         let normed = self.apply_norm(&x, &self.weights.final_norm_gain, &self.weights.final_norm_bias);
         normed.quantize_rows(self.quant.lm_head.activations).matmul(&self.cast.lm_head)
@@ -223,6 +246,19 @@ impl TransformerModel {
     #[must_use]
     pub fn decode_step_backend<B: KvBackend>(&self, token: usize, cache: &mut B) -> Vec<f32> {
         let logits = self.forward_backend(&[token], cache);
+        logits.row(0).to_vec()
+    }
+
+    /// [`TransformerModel::decode_step_backend`] decoding cache rows through a
+    /// caller-owned scratch (see [`TransformerModel::forward_backend_with_scratch`]).
+    #[must_use]
+    pub fn decode_step_backend_with_scratch<B: KvBackend>(
+        &self,
+        token: usize,
+        cache: &mut B,
+        scratch: &mut B::Scratch,
+    ) -> Vec<f32> {
+        let logits = self.forward_backend_with_scratch(&[token], cache, scratch);
         logits.row(0).to_vec()
     }
 
@@ -386,7 +422,14 @@ impl TransformerModel {
     /// the shared activation operand is quantized once per projection group and
     /// multiplied against the pre-cast weights; cache reads go through the backend's
     /// per-layer row reader.
-    fn layer_forward_backend<B: KvBackend>(&self, layer: usize, x: &Matrix, start_pos: usize, cache: &mut B) -> Matrix {
+    fn layer_forward_backend<B: KvBackend>(
+        &self,
+        layer: usize,
+        x: &Matrix,
+        start_pos: usize,
+        cache: &mut B,
+        scratch: &mut B::Scratch,
+    ) -> Matrix {
         let lw = &self.weights.layers[layer];
         let cast = &self.cast.layers[layer];
         let cfg = &self.config;
@@ -409,7 +452,7 @@ impl TransformerModel {
 
         // Attention per query position and head, causal over the cache.
         let mut attn_out = Matrix::zeros(seq, cfg.heads * cfg.head_dim());
-        let mut reader = cache.layer_reader(layer);
+        let mut reader = cache.layer_reader(layer, scratch);
         self.attention_zero_copy(&mut reader, &q, start_pos, &mut attn_out);
         drop(reader);
 

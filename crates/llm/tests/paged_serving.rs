@@ -102,7 +102,7 @@ fn oversubscribed_continuous_batching_accounts_for_every_sequence() {
     }
 
     // Pages fully returned to the pool...
-    let pool = engine.pool().unwrap().borrow();
+    let pool = engine.pool().unwrap();
     assert_eq!(pool.in_use_pages(), 0);
     assert_eq!(pool.reserved_pages(), 0);
     assert_eq!(pool.free_pages(), pool.total_pages());

@@ -1,0 +1,161 @@
+//! ISSUE-4 acceptance tests for the thread-parallel continuous-batching decode loop:
+//!
+//! * parallel decode is **token-identical** to sequential, pinned at ≥ 256 decoded
+//!   tokens on both the f32-contiguous and the paged-packed backends;
+//! * an oversubscribed stress workload (staggered admission, stop tokens, an evicted
+//!   giant, mixed sampling) produces identical per-sequence token streams, finish
+//!   reasons and final pool occupancy at 1 and 4 threads — no leaked or double-freed
+//!   pages under contention;
+//! * the serving stack is audited `Send + Sync` at compile time, so no
+//!   `Rc<RefCell<..>>`-style sharing can creep back into the public API.
+
+use mx_llm::{
+    DecodePath, FinishReason, KvCache, LayerKvCache, ModelConfig, ModelQuantConfig, PagePool, PagedKvCache,
+    PagedScratch, Sampling, Sequence, ServingEngine, ServingReport, TransformerModel,
+};
+
+fn model() -> TransformerModel {
+    // The paper's headline serving configuration: A-MXFP4+, W-MXFP4.
+    TransformerModel::new(ModelConfig::tiny_test(29), ModelQuantConfig::a_mxfp4_plus())
+}
+
+/// Compile-time audit: the whole serving stack must be shareable across threads.
+#[test]
+fn serving_stack_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TransformerModel>();
+    assert_send_sync::<PagePool>();
+    assert_send_sync::<PagedKvCache>();
+    assert_send_sync::<PagedScratch>();
+    assert_send_sync::<KvCache>();
+    assert_send_sync::<LayerKvCache>();
+    assert_send_sync::<Sequence>();
+    assert_send_sync::<ServingEngine<'_>>();
+    assert_send_sync::<ServingReport>();
+    assert_send_sync::<Sampling>();
+}
+
+/// 4 sequences × 64 tokens = 256 decoded tokens on the f32 backend: 4-thread output must
+/// equal 1-thread output must equal solo greedy generation.
+#[test]
+fn f32_parallel_decode_is_token_identical_at_256_tokens() {
+    let model = model();
+    let prompts: [&[usize]; 4] = [&[1, 2, 3, 4], &[9, 8, 7], &[5, 5, 5, 5, 5], &[100, 90, 80]];
+    let run = |threads: usize| {
+        let mut engine = ServingEngine::new(&model).with_threads(threads);
+        for p in prompts {
+            engine.submit(p, 64);
+        }
+        let report = engine.run();
+        assert_eq!(report.generated_tokens, 256);
+        assert_eq!(report.num_threads, threads);
+        assert_eq!(report.cache_materializations, 0);
+        engine.sequences().iter().map(|s| s.generated.clone()).collect::<Vec<_>>()
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential, parallel, "f32 backend diverges between 1 and 4 threads");
+    for (stream, p) in sequential.iter().zip(prompts) {
+        assert_eq!(stream, &model.generate_greedy(p, 64), "batched stream diverges from solo generation");
+    }
+}
+
+/// The same 256-token pin on the paged-packed backend, where parallel workers also
+/// contend on the page pool's allocator for page-boundary allocations.
+#[test]
+fn paged_parallel_decode_is_token_identical_at_256_tokens() {
+    let model = model();
+    let prompts: [&[usize]; 4] = [&[1, 2, 3, 4], &[9, 8, 7], &[5, 5, 5, 5, 5], &[100, 90, 80]];
+    let run = |threads: usize| {
+        let mut engine = ServingEngine::paged(&model, 64).with_threads(threads);
+        for p in prompts {
+            engine.submit(p, 64);
+        }
+        let report = engine.run();
+        assert_eq!(report.backend, "paged-packed");
+        assert_eq!(report.generated_tokens, 256);
+        assert_eq!(report.cache_materializations, 0);
+        let pool = engine.pool().unwrap();
+        assert_eq!(pool.in_use_pages(), 0, "pages leaked at {threads} threads");
+        assert_eq!(pool.reserved_pages(), 0);
+        engine.sequences().iter().map(|s| s.generated.clone()).collect::<Vec<_>>()
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential, parallel, "paged backend diverges between 1 and 4 threads");
+    for (stream, p) in sequential.iter().zip(prompts) {
+        assert_eq!(stream, &model.generate_greedy(p, 64), "paged stream diverges from solo generation");
+    }
+}
+
+/// The SeedClone decode path (the pre-refactor baseline) must also be steppable by the
+/// worker pool — its caches are plain owned state like everything else.
+#[test]
+fn seed_clone_path_runs_on_the_worker_pool() {
+    let model = model();
+    let mut parallel = ServingEngine::with_path(&model, DecodePath::SeedClone).with_threads(4);
+    let mut sequential = ServingEngine::with_path(&model, DecodePath::SeedClone).with_threads(1);
+    for engine in [&mut parallel, &mut sequential] {
+        engine.submit(&[4, 4, 2], 16);
+        engine.submit(&[11, 3], 16);
+    }
+    parallel.run();
+    sequential.run();
+    for (a, b) in parallel.sequences().iter().zip(sequential.sequences()) {
+        assert_eq!(a.generated, b.generated, "SeedClone diverges between thread counts");
+    }
+}
+
+/// One oversubscribed workload — staggered admissions, a stop token, an unadmittable
+/// giant, greedy and seeded-sampled sequences side by side — run at 1 and 4 threads.
+/// Everything observable must match: token streams, finish reasons, per-sequence cached
+/// positions, and the pool must drain to exactly its full budget both times.
+#[test]
+fn oversubscribed_stress_workload_is_identical_at_1_and_4_threads() {
+    let model = model();
+    let stop = model.generate_greedy(&[6, 7, 8], 13)[6];
+    let run = |threads: usize| {
+        // 6-page pool; each small sequence needs 2 pages (2 layers × 1 page), so at most
+        // 3 are resident while 9 more wait; the giant (needs 2 × ceil(203/16) = 26
+        // pages) can never be admitted.
+        let mut engine = ServingEngine::paged(&model, 6).with_threads(threads);
+        for s in 0..12usize {
+            let prompt = [s + 1, s + 2, s + 3];
+            match s % 3 {
+                // Greedy with a stop token drawn from the matching free-running stream.
+                0 if s == 6 => engine.submit_with_stop(&[6, 7, 8], 13, Some(stop)),
+                // Seeded top-k: sampled sequences must be just as reproducible.
+                1 => engine.submit_with_sampling(&prompt, 11, None, Sampling::top_k(4, 0.9, 2024)),
+                // Plain greedy.
+                _ => engine.submit(&prompt, 13),
+            };
+        }
+        engine.submit(&[1, 2, 3], 200); // the unadmittable giant
+        let report = engine.run();
+        let pool = engine.pool().unwrap();
+        assert_eq!(pool.in_use_pages(), 0, "pages leaked at {threads} threads");
+        assert_eq!(pool.reserved_pages(), 0, "reservations leaked at {threads} threads");
+        assert_eq!(pool.free_pages(), pool.total_pages(), "pool must drain at {threads} threads");
+        assert!(report.resident_bytes <= pool.total_pages() * pool.page_bytes());
+        let outcomes: Vec<(Vec<usize>, Option<FinishReason>, usize)> =
+            engine.sequences().iter().map(|s| (s.generated.clone(), s.finish_reason(), s.cached_positions())).collect();
+        (report, outcomes)
+    };
+
+    let (report_1, outcomes_1) = run(1);
+    let (report_4, outcomes_4) = run(4);
+
+    assert_eq!(outcomes_1, outcomes_4, "stress workload diverges between 1 and 4 threads");
+    assert_eq!(report_1.generated_tokens, report_4.generated_tokens);
+    assert_eq!(report_1.finished_length, report_4.finished_length);
+    assert_eq!(report_1.finished_stop, report_4.finished_stop);
+    assert_eq!(report_1.evicted, report_4.evicted);
+    assert_eq!(report_1.prompt_tokens, report_4.prompt_tokens);
+
+    // The workload actually exercised every finish reason.
+    assert_eq!(report_1.sequences, 13);
+    assert_eq!(report_1.evicted, 1);
+    assert_eq!(report_1.finished_stop, 1);
+    assert!(report_1.finished_length >= 10);
+    assert_eq!(report_1.finished_length + report_1.finished_stop + report_1.evicted, report_1.sequences);
+}

@@ -1,11 +1,11 @@
-//! Continuous batching over the paged, bit-packed KV cache.
+//! Continuous batching over the paged, bit-packed KV cache, decoded by a worker pool.
 //!
 //! Submits more sequences than the page budget can hold at once (mixed generation
 //! budgets, some with stop tokens), so the scheduler must admit late sequences as
 //! earlier ones finish and return their pages. The same workload is then run on the
-//! f32-contiguous baseline backend to show the measured-residency gap: the paged engine
-//! holds genuinely bit-packed rows, the baseline holds 32-bit rows regardless of the
-//! scheme it reports.
+//! f32-contiguous baseline backend to show the measured-residency gap, and finally
+//! re-run across 1/2/4 decode worker threads to show that the thread count changes the
+//! wall clock but never a single token.
 //!
 //! Run with: `cargo run --release --example continuous_batching` (add `--smoke` for the
 //! CI-sized workload).
@@ -21,23 +21,34 @@ fn main() {
 
     // Mixed-length workload: budgets budget/2..budget, every third sequence carries a
     // stop token drawn from its own greedy continuation so some finish early, plus one
-    // sequence too large for the whole pool (reported as evicted).
+    // sequence too large for the whole pool (reported as evicted). Derived once up
+    // front — the stop-token derivation is a full greedy decode per sequence, and the
+    // same submissions feed the reference run, the f32 baseline and the thread sweep.
+    let submissions: Vec<(Vec<usize>, usize, Option<usize>)> = (0..n_seqs)
+        .map(|s| {
+            let prompt: Vec<usize> = (0..12).map(|i| (s * 37 + i * 11) % cfg.vocab).collect();
+            let max_new = budget / 2 + (s * 5) % (budget / 2 + 1);
+            let stop = if s % 3 == 2 {
+                let free = model.generate_greedy(&prompt, max_new);
+                Some(free[max_new / 2])
+            } else {
+                None
+            };
+            (prompt, max_new, stop)
+        })
+        .collect();
+    let submit_workload = |engine: &mut ServingEngine<'_>| {
+        for (prompt, max_new, stop) in &submissions {
+            engine.submit_with_stop(prompt, *max_new, *stop);
+        }
+        engine.submit(&[1, 2, 3], 100_000); // can never fit: evicted, not deadlocked
+    };
+
     let mut engine = ServingEngine::paged(&model, pages);
-    for s in 0..n_seqs {
-        let prompt: Vec<usize> = (0..12).map(|i| (s * 37 + i * 11) % cfg.vocab).collect();
-        let max_new = budget / 2 + (s * 5) % (budget / 2 + 1);
-        let stop = if s % 3 == 2 {
-            let free = model.generate_greedy(&prompt, max_new);
-            Some(free[max_new / 2])
-        } else {
-            None
-        };
-        engine.submit_with_stop(&prompt, max_new, stop);
-    }
-    engine.submit(&[1, 2, 3], 100_000); // can never fit: evicted, not deadlocked
+    submit_workload(&mut engine);
 
     {
-        let pool = engine.pool().unwrap().borrow();
+        let pool = engine.pool().unwrap();
         println!(
             "Pool budget: {} pages x {} positions x {} B = {} KiB packed ({})",
             pool.total_pages(),
@@ -47,7 +58,11 @@ fn main() {
             model.quant().kv_cache.name(),
         );
     }
-    println!("Submitted {} sequences (worst case exceeds the budget: admission is staggered)\n", n_seqs + 1);
+    println!(
+        "Submitted {} sequences (worst case exceeds the budget: admission is staggered), {} decode threads\n",
+        n_seqs + 1,
+        engine.num_threads()
+    );
 
     let report = engine.run();
 
@@ -68,8 +83,10 @@ fn main() {
         );
     }
     println!(
-        "\n{} generated tokens at {:.0} tok/s decode; finished by length {}, by stop {}, evicted {}",
+        "\n{} generated tokens in {:.2}s wall ({:.0} tok/s wall, {:.0} tok/s per worker); finished by length {}, by stop {}, evicted {}",
         report.generated_tokens,
+        report.wall_seconds,
+        report.tokens_per_sec_parallel,
         report.decode_tokens_per_sec,
         report.finished_length,
         report.finished_stop,
@@ -79,7 +96,7 @@ fn main() {
         "cache bytes: theoretical {} ({}), peak resident {} (measured packed pages), fp32 {}",
         report.theoretical_bytes, report.scheme, report.resident_bytes, report.theoretical_bytes_fp32
     );
-    let pool = engine.pool().unwrap().borrow();
+    let pool = engine.pool().unwrap();
     assert_eq!(pool.in_use_pages(), 0, "all pages must return to the pool");
     assert_eq!(report.finished_length + report.finished_stop + report.evicted, report.sequences);
 
@@ -101,4 +118,22 @@ fn main() {
         base_report.resident_bytes as f64 / report.resident_bytes as f64,
         report.theoretical_compression()
     );
+
+    // Thread scaling: identical workload and tokens at 1/2/4 decode workers; only the
+    // wall clock moves (by how much depends on the hardware threads available).
+    println!("\nThread scaling (same workload, token-identical by assertion):");
+    println!("{:>8} {:>10} {:>14} {:>16}", "threads", "wall s", "tok/s wall", "tok/s per-worker");
+    let reference: Vec<Vec<usize>> = engine.sequences().iter().map(|s| s.generated.clone()).collect();
+    for threads in [1usize, 2, 4] {
+        let mut sweep = ServingEngine::paged(&model, pages).with_threads(threads);
+        submit_workload(&mut sweep);
+        let r = sweep.run();
+        for (seq, expected) in sweep.sequences().iter().zip(&reference) {
+            assert_eq!(&seq.generated, expected, "thread count changed sequence {}", seq.id);
+        }
+        println!(
+            "{:>8} {:>10.3} {:>14.0} {:>16.0}",
+            threads, r.wall_seconds, r.tokens_per_sec_parallel, r.decode_tokens_per_sec
+        );
+    }
 }
