@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mx_llm::model::argmax;
-use mx_llm::{DecodePath, KvCache, ModelConfig, ModelQuantConfig, ServingEngine, TransformerModel};
+use mx_llm::{DecodePath, KvCache, ModelConfig, ModelQuantConfig, ServingEngine, SubmitOptions, TransformerModel};
 
 /// Tokens decoded per measured iteration (amortizes the per-iteration cache clone).
 const DECODE_TOKENS: usize = 16;
@@ -69,7 +69,7 @@ fn batched_serving(c: &mut Criterion) {
             let mut engine = ServingEngine::new(&model);
             for s in 0..4usize {
                 let prompt: Vec<usize> = (0..8).map(|i| (s * 8 + i) % 128).collect();
-                engine.submit(&prompt, 32);
+                engine.submit_with(&prompt, SubmitOptions::new(32));
             }
             let report = engine.run();
             assert_eq!(report.cache_materializations, 0);
@@ -95,7 +95,7 @@ fn serving_thread_scaling(c: &mut Criterion) {
                 let mut engine = ServingEngine::new(&model).with_threads(threads);
                 for s in 0..RESIDENT {
                     let prompt: Vec<usize> = (0..8).map(|i| (s * 11 + i * 3) % 128).collect();
-                    engine.submit(&prompt, NEW_TOKENS);
+                    engine.submit_with(&prompt, SubmitOptions::new(NEW_TOKENS));
                 }
                 let report = engine.run();
                 assert_eq!(report.generated_tokens, RESIDENT * NEW_TOKENS);

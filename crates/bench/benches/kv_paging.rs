@@ -14,7 +14,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mx_formats::RowCodec;
 use mx_llm::kvcache::KvBackend;
 use mx_llm::model::argmax;
-use mx_llm::{KvCache, ModelConfig, ModelQuantConfig, PagePool, PagedKvCache, ServingEngine, TransformerModel};
+use mx_llm::{
+    KvCache, ModelConfig, ModelQuantConfig, PagePool, PagedKvCache, ServingEngine, SubmitOptions, TransformerModel,
+};
 
 /// Tokens decoded per measured iteration after the cache is rebuilt.
 const DECODE_TOKENS: usize = 8;
@@ -137,7 +139,7 @@ fn thread_scaling(c: &mut Criterion) {
                         let mut engine = ServingEngine::paged(&model, pages).with_threads(threads);
                         for s in 0..resident {
                             let prompt: Vec<usize> = (0..PROMPT).map(|i| (s * 13 + i * 7) % 128).collect();
-                            engine.submit(&prompt, NEW_TOKENS);
+                            engine.submit_with(&prompt, SubmitOptions::new(NEW_TOKENS));
                         }
                         let report = engine.run();
                         assert_eq!(report.generated_tokens, resident * NEW_TOKENS);
@@ -150,5 +152,74 @@ fn thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, paged_vs_f32, thread_scaling);
+/// Prefix-sharing sweep: N sequences submitting the same long prompt (plus divergent
+/// tails) with refcounted page sharing on vs off. The memory half is printed once at
+/// startup — peak resident bytes with sharing stay near one copy of the prompt pages
+/// while the unshared baseline grows ~linearly with N — and the timed half measures the
+/// whole `run()` including the skipped prefills, so sharing also shows up as wall-clock
+/// savings. Run in CI smoke mode, the assertions pin `shared_pages > 0` and the
+/// residency win at every N.
+fn prefix_sharing(c: &mut Criterion) {
+    let model = bench_model();
+    const COMMON: usize = 50; // 3 full 16-position pages + a COW boundary page
+    const NEW_TOKENS: usize = 8;
+    let prompts = |n: usize| -> Vec<Vec<usize>> {
+        let prefix: Vec<usize> = (0..COMMON).map(|i| (i * 19 + 5) % 128).collect();
+        (0..n)
+            .map(|s| {
+                let mut p = prefix.clone();
+                p.push((100 + s * 3) % 128);
+                p
+            })
+            .collect()
+    };
+    let run = |n: usize, share: bool| {
+        let mut engine = ServingEngine::paged(&model, 160).with_threads(1);
+        for p in prompts(n) {
+            let opts = SubmitOptions::new(NEW_TOKENS);
+            engine.submit_with(&p, if share { opts } else { opts.without_prefix_sharing() });
+        }
+        engine.run()
+    };
+
+    println!(
+        "{:>6} {:>18} {:>18} {:>8} {:>14} {:>12}",
+        "seqs", "resident shared B", "resident unshared", "ratio", "shared pages", "saved tokens"
+    );
+    for n in [1usize, 2, 4, 8] {
+        let shared = run(n, true);
+        let unshared = run(n, false);
+        assert_eq!(shared.generated_tokens, unshared.generated_tokens);
+        if n > 1 {
+            assert!(shared.shared_pages > 0, "sharing must engage at n={n}");
+            assert!(shared.resident_bytes < unshared.resident_bytes, "sharing must shrink residency at n={n}");
+        }
+        println!(
+            "{:>6} {:>18} {:>18} {:>7.2}x {:>14} {:>12}",
+            n,
+            shared.resident_bytes,
+            unshared.resident_bytes,
+            unshared.resident_bytes as f64 / shared.resident_bytes as f64,
+            shared.shared_pages,
+            shared.prefill_tokens_saved
+        );
+    }
+
+    let mut group = c.benchmark_group("prefix_sharing");
+    group.sample_size(10);
+    for n in [2usize, 8] {
+        for (label, share) in [("shared", true), ("unshared", false)] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let report = run(n, share);
+                    assert_eq!(report.generated_tokens, n * NEW_TOKENS);
+                    report.generated_tokens
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, paged_vs_f32, thread_scaling, prefix_sharing);
 criterion_main!(benches);

@@ -19,8 +19,10 @@
 //! The decode hot path is generic over a cache *backend* ([`KvBackend`]): this module's
 //! [`KvCache`] stores dequantized `f32` rows (the accuracy / bit-exactness baseline),
 //! while [`PagedKvCache`](crate::paging::PagedKvCache) stores rows genuinely bit-packed
-//! in pool-allocated pages. Both backends feed the attention loop through a per-layer
-//! [`KvLayerReader`], so the zero-materialization invariant is backend-independent.
+//! in pool-allocated pages — exclusively owned, or refcounted-shared with other
+//! sequences under prefix sharing (reads never care which; writes copy-on-write). Both
+//! backends feed the attention loop through a per-layer [`KvLayerReader`], so the
+//! zero-materialization invariant is backend-independent.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -160,6 +160,12 @@ impl TransformerModel {
     /// equal to `scheme.quantize_dequantize(row)` bit for bit, the logits — and therefore
     /// the generated tokens — do not depend on the backend.
     ///
+    /// The pass always *continues* from `cache.seq_len()`: positions, rotary phases and
+    /// causal visibility all derive from the backend's current length, and every
+    /// per-position operation is row-independent. Prefix sharing relies on exactly this:
+    /// prefilling only the suffix of a prompt on top of shared (already-populated) cache
+    /// rows produces logits bit-identical to a full prefill.
+    ///
     /// Allocates a fresh [`KvBackend::Scratch`] per call; loops that decode many tokens
     /// (or worker threads stepping many sequences) should hold one scratch and call
     /// [`TransformerModel::forward_backend_with_scratch`] instead.

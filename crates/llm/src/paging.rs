@@ -17,18 +17,46 @@
 //!   [`PagedScratch`] and serve it to the zero-copy attention loop through
 //!   [`KvLayerReader`], so no full-cache tensor is ever materialized.
 //!
+//! ## Ownership model: exclusive tail pages, refcounted shared pages
+//!
+//! A cache's page table holds page references in one of two states:
+//!
+//! * **Owned** — the page buffer is exclusively held by this cache (the common case and
+//!   always the state of a freshly allocated tail page), so packs and unpacks are
+//!   lock-free plain memory access.
+//! * **Shared** — the page has been *sealed* behind an atomically refcounted handle
+//!   ([`Arc`]) so that any number of caches can read it concurrently. Sealing happens
+//!   when a cache donates a prompt prefix ([`PagedKvCache::share_prefix`]); a recipient
+//!   built with [`PagedKvCache::with_shared_prefix`] maps the donor's sealed pages
+//!   straight into its own table, paying **zero** new pages and zero re-prefill for the
+//!   shared positions. When the last reference drops, the page returns itself to the
+//!   pool.
+//!
+//! Appending into a shared page triggers **copy-on-write**
+//! (an append can only ever target the partially filled boundary page of a shared
+//! prefix): if the cache is the sole remaining owner the page is reclaimed in place
+//! (no copy — the donor retired), otherwise a fresh page is allocated from the cache's
+//! reservation and the shared bytes are copied before the write. Either way the other
+//! holders of the page never observe the mutation.
+//!
+//! For **preemption**, a whole cache can be swapped out of the pool into a host-side
+//! [`SpilledKv`] buffer ([`PagedKvCache::spill`]) and later re-admitted with
+//! [`PagedKvCache::restore`], which is bit-exact: packed slot bytes are copied verbatim
+//! in both directions, so a preempted sequence resumes token-identically.
+//!
 //! ## Threading model
 //!
 //! The pool is shared as an [`Arc<PagePool>`] and is `Send + Sync`: all free-list,
 //! reservation and occupancy accounting sits behind one internal [`Mutex`], which is
-//! touched only when pages change hands (admission, page-boundary growth, retirement) —
-//! never on the per-row decode hot path. Page *data* is handed out by moving each page's
-//! pre-allocated buffer out of the pool and into the owning [`PagedKvCache`]
-//! (and back on release), so a worker thread decoding its sequence packs and unpacks
-//! rows with **zero locking**: the buffers it touches are exclusively owned by the cache
-//! it holds `&mut` to. The per-row dequant scratch lives in a [`PagedScratch`] owned by
-//! the *worker thread* rather than the cache, so a thread serving many resident
-//! sequences carries exactly one pair of scratch buffers.
+//! touched only when pages change hands (admission, page-boundary growth, sealing,
+//! copy-on-write, retirement) — never on the per-row decode hot path. Owned page *data*
+//! is handed out by moving each page's pre-allocated buffer out of the pool and into the
+//! owning [`PagedKvCache`] (and back on release), so a worker thread decoding its
+//! sequence packs and unpacks rows with **zero locking**; shared pages are immutable
+//! behind their refcount, so concurrent readers need no locking either. The per-row
+//! dequant scratch lives in a [`PagedScratch`] owned by the *worker thread* rather than
+//! the cache, so a thread serving many resident sequences carries exactly one pair of
+//! scratch buffers.
 //!
 //! Because [`mx_formats::RowCodec`] round-trips bit-for-bit with
 //! `QuantScheme::quantize_dequantize` — the exact values the f32 backend stores — a
@@ -78,6 +106,115 @@ impl std::error::Error for PagingError {}
 struct PageEntry {
     id: usize,
     buf: Box<[u8]>,
+}
+
+/// A sealed, immutable page held behind an atomic refcount. Every holder reads the same
+/// buffer; when the last [`Arc<SharedPage>`] drops, the page returns itself to the pool
+/// (which is why it carries its pool handle). A shared page is never written — caches
+/// that need to write one first go through copy-on-write.
+#[derive(Debug)]
+struct SharedPage {
+    pool: Arc<PagePool>,
+    /// `Some` until the page is reclaimed exclusively (sole-owner copy-on-write) or
+    /// returned to the pool by `Drop`.
+    entry: Option<PageEntry>,
+}
+
+impl SharedPage {
+    fn buf(&self) -> &[u8] {
+        &self.entry.as_ref().expect("shared page already reclaimed").buf
+    }
+}
+
+impl Drop for SharedPage {
+    fn drop(&mut self) {
+        if let Some(entry) = self.entry.take() {
+            self.pool.state().free_page(entry);
+        }
+    }
+}
+
+/// One entry of a cache's page table: exclusively owned and mutable (the tail page and
+/// every page of a cache that shares nothing), or sealed and refcounted-shared.
+#[derive(Debug)]
+enum PageRef {
+    /// Exclusively owned: reads and writes are lock-free plain memory access.
+    Owned(PageEntry),
+    /// Sealed read-only page shared with other caches through an atomic refcount.
+    Shared(Arc<SharedPage>),
+}
+
+impl PageRef {
+    fn buf(&self) -> &[u8] {
+        match self {
+            PageRef::Owned(entry) => &entry.buf,
+            PageRef::Shared(page) => page.buf(),
+        }
+    }
+
+    fn is_shared(&self) -> bool {
+        matches!(self, PageRef::Shared(_))
+    }
+}
+
+/// A donor's sealed prompt-prefix pages, cloned out of its page table by
+/// [`PagedKvCache::share_prefix`] and consumed by [`PagedKvCache::with_shared_prefix`].
+/// Holding this keeps every page alive (refcounted) even if the donor retires before the
+/// recipient is built.
+#[derive(Debug)]
+pub struct SharedPrefix {
+    /// Per-layer clones of the donor's sealed pages (same page count in every layer).
+    pages: Vec<Vec<PageRef>>,
+    /// Prefix positions the pages cover (the recipient's initial sequence length).
+    positions: usize,
+}
+
+impl SharedPrefix {
+    /// Prefix positions covered by the shared pages.
+    #[must_use]
+    pub fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// Shared pages mapped per layer (full pages plus a partially filled boundary page
+    /// when the prefix does not end on a page boundary).
+    #[must_use]
+    pub fn pages_per_layer(&self) -> usize {
+        self.pages.first().map_or(0, Vec::len)
+    }
+
+    /// Total shared page mappings across all layers.
+    #[must_use]
+    pub fn total_pages(&self) -> usize {
+        self.pages.iter().map(Vec::len).sum()
+    }
+}
+
+/// A preempted cache's contents, swapped out of the page pool into plain host memory:
+/// per-layer packed page buffers copied verbatim plus the appended lengths. Restoring
+/// with [`PagedKvCache::restore`] copies the bytes back into freshly allocated pages, so
+/// a spill/restore round trip is bit-exact.
+#[derive(Debug)]
+pub struct SpilledKv {
+    scheme: QuantScheme,
+    kv_dim: usize,
+    lens: Vec<usize>,
+    /// `pages[layer][page]` — a verbatim copy of each page buffer at spill time.
+    pages: Vec<Vec<Box<[u8]>>>,
+}
+
+impl SpilledKv {
+    /// Positions the spilled cache held (same for every layer).
+    #[must_use]
+    pub fn positions(&self) -> usize {
+        self.lens.first().copied().unwrap_or(0)
+    }
+
+    /// Host-side bytes the spill buffer occupies (page-granular, like pool residency).
+    #[must_use]
+    pub fn spill_bytes(&self) -> usize {
+        self.pages.iter().flatten().map(|buf| buf.len()).sum()
+    }
 }
 
 /// The lock-protected side of the pool: which pages are home, which are checked out,
@@ -307,9 +444,11 @@ pub struct PagedKvCache {
     /// and still guaranteed to — another layer's in-capacity appends.
     layer_reserved: Vec<usize>,
     /// Per-layer page tables: position `t` lives in `tables[layer][t / page_positions]`.
-    tables: Vec<Vec<PageEntry>>,
+    tables: Vec<Vec<PageRef>>,
     /// Per-layer appended lengths (layers fill in lock-step during a forward pass).
     lens: Vec<usize>,
+    /// Copy-on-write page copies performed (sole-owner in-place reclaims not counted).
+    cow_copies: usize,
 }
 
 impl PagedKvCache {
@@ -357,6 +496,70 @@ impl PagedKvCache {
             layer_reserved: vec![per_layer; layers],
             tables: (0..layers).map(|_| Vec::new()).collect(),
             lens: vec![0; layers],
+            cow_copies: 0,
+        })
+    }
+
+    /// Pages a cache of `layers` layers and `positions` positions needs when
+    /// `shared_positions` of them are mapped from a donor's sealed pages: only the pages
+    /// *past* the fully shared ones must be funded (the partially filled boundary page of
+    /// a non-aligned prefix still counts — it is the copy-on-write target of the first
+    /// divergent append).
+    #[must_use]
+    pub fn pages_needed_with_prefix(
+        pool: &PagePool,
+        layers: usize,
+        positions: usize,
+        shared_positions: usize,
+    ) -> usize {
+        let full_shared = shared_positions / pool.page_positions();
+        layers * (positions.div_ceil(pool.page_positions()) - full_shared)
+    }
+
+    /// Creates a cache whose first [`SharedPrefix::positions`] positions are served from
+    /// a donor's sealed pages — no re-prefill, no new pages for the fully shared part.
+    /// Reserves pages only for the remainder of `capacity_positions` (including one
+    /// copy-on-write page per layer for a non-aligned boundary page), so admission under
+    /// prefix sharing is strictly cheaper than a cold admission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PagingError::OutOfPages`] (reserving nothing, dropping the prefix
+    /// handles) if the pool cannot cover the non-shared remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix's layer count does not match `layers`, if the pool's slot
+    /// size does not match `kv_dim` under the scheme's codec, or if the prefix does not
+    /// leave room for at least one new position within `capacity_positions`.
+    pub fn with_shared_prefix(
+        pool: &Arc<PagePool>,
+        layers: usize,
+        kv_dim: usize,
+        scheme: QuantScheme,
+        capacity_positions: usize,
+        prefix: SharedPrefix,
+    ) -> Result<Self, PagingError> {
+        let codec = RowCodec::for_scheme(scheme);
+        let row_bytes = codec.packed_bytes(kv_dim);
+        assert_eq!(2 * row_bytes, pool.slot_bytes(), "pool slot size does not match kv_dim under this scheme");
+        assert_eq!(prefix.pages.len(), layers, "shared prefix layer count mismatch");
+        assert!(prefix.positions < capacity_positions, "shared prefix must leave room for new positions");
+        let needed = Self::pages_needed_with_prefix(pool, layers, capacity_positions, prefix.positions);
+        if let Err(available) = pool.try_reserve_or_available(needed) {
+            return Err(PagingError::OutOfPages { needed, available });
+        }
+        let per_layer = needed / layers;
+        Ok(PagedKvCache {
+            pool: Arc::clone(pool),
+            scheme,
+            codec,
+            kv_dim,
+            row_bytes,
+            layer_reserved: vec![per_layer; layers],
+            tables: prefix.pages,
+            lens: vec![prefix.positions; layers],
+            cow_copies: 0,
         })
     }
 
@@ -403,9 +606,206 @@ impl PagedKvCache {
         self.lens.iter().map(|len| 2 * len * self.row_bytes).sum()
     }
 
+    /// Page-table entries currently mapped to sealed shared pages.
+    #[must_use]
+    pub fn shared_pages(&self) -> usize {
+        self.tables.iter().flatten().filter(|p| p.is_shared()).count()
+    }
+
+    /// Page-table entries exclusively owned (allocated or reclaimed/copied by this cache).
+    #[must_use]
+    pub fn owned_pages(&self) -> usize {
+        self.allocated_pages() - self.shared_pages()
+    }
+
+    /// Copy-on-write page *copies* this cache has performed (sole-owner in-place
+    /// reclaims, which copy nothing, are not counted).
+    #[must_use]
+    pub fn cow_copies(&self) -> usize {
+        self.cow_copies
+    }
+
+    /// Pages guaranteed to become available if this cache is released right now:
+    /// exclusively owned pages plus unused reservations. Shared pages are excluded —
+    /// they only return to the pool if this cache holds the last reference — so the
+    /// number is a lower bound the preemption planner can rely on.
+    #[must_use]
+    pub fn reclaimable_pages(&self) -> usize {
+        self.owned_pages() + self.layer_reserved.iter().sum::<usize>()
+    }
+
+    /// Allocates one page, funding it from this layer's reservation or — past the
+    /// construction capacity — from the pool's free headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is exhausted beyond this cache's reservation (allocations
+    /// within the construction capacity never hit this).
+    fn alloc_page(&mut self, layer: usize) -> PageEntry {
+        // A layer growing past its own reserved share must fund the page from the
+        // pool's free headroom — never from another layer's reservation, so appends
+        // within the construction capacity stay infallible in any layer order.
+        if self.layer_reserved[layer] == 0 {
+            assert!(self.pool.try_reserve(1), "page pool exhausted: cache grew past its reservation");
+            self.layer_reserved[layer] += 1;
+        }
+        let entry = self.pool.alloc_reserved();
+        self.layer_reserved[layer] -= 1;
+        entry
+    }
+
+    /// Removes the page at `page_idx` from `layer`'s table in O(1), leaving the other
+    /// entries displaced until the matching [`PagedKvCache::put_page`].
+    fn take_page(&mut self, layer: usize, page_idx: usize) -> PageRef {
+        let last = self.tables[layer].len() - 1;
+        self.tables[layer].swap(page_idx, last);
+        self.tables[layer].pop().expect("page index out of range")
+    }
+
+    /// Reinserts a page taken with [`PagedKvCache::take_page`] at its original index.
+    fn put_page(&mut self, layer: usize, page_idx: usize, page: PageRef) {
+        let last = self.tables[layer].len();
+        self.tables[layer].push(page);
+        self.tables[layer].swap(page_idx, last);
+    }
+
+    /// Seals `layer`'s page at `page_idx` into the refcounted shared state (idempotent)
+    /// and returns a handle to it.
+    fn seal_page(&mut self, layer: usize, page_idx: usize) -> Arc<SharedPage> {
+        if let PageRef::Shared(arc) = &self.tables[layer][page_idx] {
+            return Arc::clone(arc);
+        }
+        let PageRef::Owned(entry) = self.take_page(layer, page_idx) else { unreachable!("checked Owned above") };
+        let arc = Arc::new(SharedPage { pool: Arc::clone(&self.pool), entry: Some(entry) });
+        self.put_page(layer, page_idx, PageRef::Shared(Arc::clone(&arc)));
+        arc
+    }
+
+    /// Copy-on-write: guarantees `layer`'s page at `page_idx` is exclusively owned
+    /// before a write. If this cache holds the last reference the page is reclaimed in
+    /// place (the donor retired — no copy); otherwise a fresh page is allocated and the
+    /// shared bytes are copied, leaving every other holder's view untouched.
+    fn ensure_writable(&mut self, layer: usize, page_idx: usize) {
+        if !self.tables[layer][page_idx].is_shared() {
+            return;
+        }
+        let PageRef::Shared(arc) = self.take_page(layer, page_idx) else { unreachable!("checked Shared above") };
+        let entry = match Arc::try_unwrap(arc) {
+            // Sole owner: take the page back exclusively; the pool accounting is
+            // untouched (the page stays checked out, now to this cache alone).
+            Ok(mut sole) => sole.entry.take().expect("shared page already reclaimed"),
+            Err(arc) => {
+                let mut entry = self.alloc_page(layer);
+                entry.buf.copy_from_slice(arc.buf());
+                self.cow_copies += 1;
+                entry
+            }
+        };
+        self.put_page(layer, page_idx, PageRef::Owned(entry));
+    }
+
+    /// Seals the pages covering this cache's first `positions` positions and returns
+    /// refcounted handles to them, so a new sequence with the same prompt prefix can map
+    /// them instead of re-prefilling. Full pages are sealed for free; a partially filled
+    /// boundary page is sealed only if the pool can also fund this cache's own future
+    /// copy-on-write of it (one page per still-appending layer) — otherwise the prefix
+    /// is truncated to whole pages, keeping in-capacity appends infallible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is 0 or exceeds the cached sequence length.
+    pub fn share_prefix(&mut self, positions: usize) -> SharedPrefix {
+        assert!(positions > 0, "cannot share an empty prefix");
+        assert!(positions <= self.seq_len(), "cannot share positions that are not cached yet");
+        let pp = self.pool.page_positions();
+        let full = positions / pp;
+        let mut positions = positions;
+        let mut take = full;
+        if !positions.is_multiple_of(pp) {
+            // Sealing the partially filled boundary page makes this cache's own next
+            // append into it a copy-on-write; reserve that headroom now (per layer that
+            // will still write the page) so the write can never fail mid-decode.
+            let headroom = (0..self.tables.len())
+                .filter(|&l| self.lens[l] < (full + 1) * pp && !self.tables[l][full].is_shared())
+                .count();
+            if self.pool.try_reserve(headroom) {
+                for l in 0..self.tables.len() {
+                    if self.lens[l] < (full + 1) * pp && !self.tables[l][full].is_shared() {
+                        self.layer_reserved[l] += 1;
+                    }
+                }
+                take = full + 1;
+            } else {
+                positions = full * pp;
+            }
+        }
+        let pages = (0..self.tables.len())
+            .map(|layer| (0..take).map(|idx| PageRef::Shared(self.seal_page(layer, idx))).collect())
+            .collect();
+        SharedPrefix { pages, positions }
+    }
+
+    /// Swaps this cache out of the pool: copies every page's packed bytes into a
+    /// host-side [`SpilledKv`] buffer and releases all pages and reservations — the
+    /// preemption primitive. The sequence's cache can later be rebuilt bit-identically
+    /// with [`PagedKvCache::restore`].
+    pub fn spill(&mut self) -> SpilledKv {
+        let spilled = SpilledKv {
+            scheme: self.scheme,
+            kv_dim: self.kv_dim,
+            lens: self.lens.clone(),
+            pages: self
+                .tables
+                .iter()
+                .map(|table| table.iter().map(|page| page.buf().to_vec().into_boxed_slice()).collect())
+                .collect(),
+        };
+        self.release();
+        spilled
+    }
+
+    /// Re-admits a spilled cache: reserves the full `capacity_positions` worst case
+    /// (exactly like a cold admission), copies the spilled page bytes back into freshly
+    /// allocated pages and restores the appended lengths. The restored cache is
+    /// bit-identical to the spilled one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PagingError::OutOfPages`] (reserving nothing) if the pool cannot cover
+    /// the worst case — the re-admission waits like any other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill's layer count, width or scheme disagree with the arguments,
+    /// or if the spilled positions exceed `capacity_positions`.
+    pub fn restore(
+        pool: &Arc<PagePool>,
+        layers: usize,
+        kv_dim: usize,
+        scheme: QuantScheme,
+        capacity_positions: usize,
+        spilled: &SpilledKv,
+    ) -> Result<Self, PagingError> {
+        assert_eq!(spilled.pages.len(), layers, "spilled layer count mismatch");
+        assert_eq!(spilled.kv_dim, kv_dim, "spilled width mismatch");
+        assert_eq!(spilled.scheme, scheme, "spilled scheme mismatch");
+        assert!(spilled.positions() <= capacity_positions, "spilled positions exceed the restore capacity");
+        let mut cache = Self::new(pool, layers, kv_dim, scheme, capacity_positions)?;
+        for (layer, bufs) in spilled.pages.iter().enumerate() {
+            for buf in bufs {
+                let mut entry = cache.alloc_page(layer);
+                entry.buf.copy_from_slice(buf);
+                cache.tables[layer].push(PageRef::Owned(entry));
+            }
+        }
+        cache.lens.copy_from_slice(&spilled.lens);
+        Ok(cache)
+    }
+
     /// Appends one position's key and value rows to `layer`, quantized with the cache's
-    /// scheme and packed straight into the slot. Only a page-boundary crossing touches
-    /// the pool lock; the pack itself writes a buffer this cache exclusively owns.
+    /// scheme and packed straight into the slot. Only a page-boundary crossing (or a
+    /// copy-on-write of a shared boundary page) touches the pool lock; the pack itself
+    /// writes a buffer this cache exclusively owns.
     ///
     /// # Panics
     ///
@@ -417,20 +817,19 @@ impl PagedKvCache {
         assert_eq!(value.len(), self.kv_dim, "value width mismatch");
         let t = self.lens[layer];
         let pp = self.pool.page_positions();
-        if t == self.tables[layer].len() * pp {
-            // A layer growing past its own reserved share must fund the page from the
-            // pool's free headroom — never from another layer's reservation, so appends
-            // within the construction capacity stay infallible in any layer order.
-            if self.layer_reserved[layer] == 0 {
-                assert!(self.pool.try_reserve(1), "page pool exhausted: cache grew past its reservation");
-                self.layer_reserved[layer] += 1;
-            }
-            let entry = self.pool.alloc_reserved();
-            self.layer_reserved[layer] -= 1;
-            self.tables[layer].push(entry);
+        let page_idx = t / pp;
+        if page_idx == self.tables[layer].len() {
+            let entry = self.alloc_page(layer);
+            self.tables[layer].push(PageRef::Owned(entry));
+        } else {
+            // Writing into a shared boundary page (a mapped prefix that ends mid-page):
+            // copy-on-write first, so the donor and every other holder keep their view.
+            self.ensure_writable(layer, page_idx);
         }
         let slot_bytes = 2 * self.row_bytes;
-        let entry = &mut self.tables[layer][t / pp];
+        let PageRef::Owned(entry) = &mut self.tables[layer][page_idx] else {
+            unreachable!("append target page must be exclusively owned after ensure_writable")
+        };
         let slot = &mut entry.buf[(t % pp) * slot_bytes..(t % pp + 1) * slot_bytes];
         let (key_slot, value_slot) = slot.split_at_mut(self.row_bytes);
         self.codec.pack_row_into(key, key_slot);
@@ -438,19 +837,29 @@ impl PagedKvCache {
         self.lens[layer] = t + 1;
     }
 
-    /// Returns every allocated page and any unused reservation to the pool, emptying the
-    /// cache. Also invoked by `Drop`, which is how a retiring sequence funds the
-    /// admission of queued ones. Takes the pool lock once, not once per page.
+    /// Returns every owned page, every shared-page reference and any unused reservation
+    /// to the pool, emptying the cache. Also invoked by `Drop`, which is how a retiring
+    /// sequence funds the admission of queued ones. Owned pages and reservations are
+    /// returned under one pool-lock acquisition; shared pages only return to the pool if
+    /// this cache held the last reference (each such final drop re-locks briefly).
     pub fn release(&mut self) {
-        let mut state = self.pool.state();
-        for table in &mut self.tables {
-            for entry in table.drain(..) {
-                state.free_page(entry);
+        let mut shared: Vec<Arc<SharedPage>> = Vec::new();
+        {
+            let mut state = self.pool.state();
+            for table in &mut self.tables {
+                for page in table.drain(..) {
+                    match page {
+                        PageRef::Owned(entry) => state.free_page(entry),
+                        // Defer: SharedPage::drop takes the pool lock itself.
+                        PageRef::Shared(arc) => shared.push(arc),
+                    }
+                }
             }
+            let leftover: usize = self.layer_reserved.iter().sum();
+            assert!(leftover <= state.reserved, "unreserving more pages than reserved");
+            state.reserved -= leftover;
         }
-        let leftover: usize = self.layer_reserved.iter().sum();
-        assert!(leftover <= state.reserved, "unreserving more pages than reserved");
-        state.reserved -= leftover;
+        drop(shared);
         self.layer_reserved.fill(0);
         self.lens.fill(0);
     }
@@ -467,7 +876,7 @@ impl Drop for PagedKvCache {
 /// the pool lock — the pages it reads are exclusively owned by the cache it borrows.
 #[derive(Debug)]
 pub struct PagedLayerReader<'a> {
-    table: &'a [PageEntry],
+    table: &'a [PageRef],
     codec: RowCodec,
     row_bytes: usize,
     page_positions: usize,
@@ -477,12 +886,13 @@ pub struct PagedLayerReader<'a> {
 }
 
 /// The packed bytes of position `t`'s slot within its page table (free function so the
-/// reader can borrow its scratch buffers mutably alongside the table).
-fn packed_slot(table: &[PageEntry], page_positions: usize, row_bytes: usize, len: usize, t: usize) -> &[u8] {
+/// reader can borrow its scratch buffers mutably alongside the table). Works identically
+/// on owned and shared pages — reads never care who else holds the page.
+fn packed_slot(table: &[PageRef], page_positions: usize, row_bytes: usize, len: usize, t: usize) -> &[u8] {
     assert!(t < len, "position out of bounds");
     let slot_bytes = 2 * row_bytes;
     let start = (t % page_positions) * slot_bytes;
-    &table[t / page_positions].buf[start..start + slot_bytes]
+    &table[t / page_positions].buf()[start..start + slot_bytes]
 }
 
 impl KvLayerReader for PagedLayerReader<'_> {
@@ -810,6 +1220,196 @@ mod tests {
         assert_eq!(cache.allocated_pages(), 4);
         drop(cache);
         assert_eq!(pool.free_pages(), 4);
+    }
+
+    #[test]
+    fn shared_prefix_maps_pages_without_new_allocations() {
+        let scheme = QuantScheme::mxfp4();
+        let pool = pool_64(scheme); // 16 pages of 4 positions
+        let mut donor = PagedKvCache::new(&pool, 2, 64, scheme, 8).unwrap();
+        for t in 0..8 {
+            for layer in 0..2 {
+                donor.append(layer, &sample_row(64, t), &sample_row(64, t + 50));
+            }
+        }
+        assert_eq!(pool.in_use_pages(), 4);
+        // Page-aligned prefix: 8 positions = 2 full pages per layer, no headroom needed.
+        let prefix = donor.share_prefix(8);
+        assert_eq!(prefix.positions(), 8);
+        assert_eq!(prefix.pages_per_layer(), 2);
+        assert_eq!(prefix.total_pages(), 4);
+        assert_eq!(pool.reserved_pages(), 0, "aligned sealing reserves nothing");
+        // The recipient maps the 4 shared pages and reserves only its remainder:
+        // 2 layers * (ceil(12/4) - 2) = 2 pages.
+        let mut recipient = PagedKvCache::with_shared_prefix(&pool, 2, 64, scheme, 12, prefix).unwrap();
+        assert_eq!(pool.reserved_pages(), 2);
+        assert_eq!(pool.in_use_pages(), 4, "sharing allocates no new pages");
+        assert_eq!(recipient.seq_len(), 8);
+        assert_eq!(recipient.shared_pages(), 4);
+        assert_eq!(recipient.owned_pages(), 0);
+        // Shared reads decode the donor's rows bit for bit.
+        for t in 0..8 {
+            let (k, v) = read_layer(&mut recipient, 1, t);
+            assert_eq!(k, scheme.quantize_dequantize(&sample_row(64, t)));
+            assert_eq!(v, scheme.quantize_dequantize(&sample_row(64, t + 50)));
+        }
+        // Divergent appends land in fresh exclusive pages past the shared prefix.
+        for t in 8..12 {
+            for layer in 0..2 {
+                recipient.append(layer, &sample_row(64, t + 900), &sample_row(64, t + 950));
+            }
+        }
+        assert_eq!(recipient.cow_copies(), 0, "aligned prefixes never copy-on-write");
+        assert_eq!(pool.in_use_pages(), 6);
+        drop(recipient);
+        assert_eq!(pool.in_use_pages(), 4, "shared pages stay resident for the donor");
+        drop(donor);
+        assert_eq!(pool.free_pages(), 16);
+        assert_eq!(pool.reserved_pages(), 0);
+    }
+
+    #[test]
+    fn copy_on_write_preserves_every_holders_view() {
+        let scheme = QuantScheme::mxfp4();
+        let pool = pool_64(scheme);
+        let mut donor = PagedKvCache::new(&pool, 1, 64, scheme, 8).unwrap();
+        for t in 0..6 {
+            donor.append(0, &sample_row(64, t), &sample_row(64, t + 50));
+        }
+        // Non-aligned prefix: 1 full page + the partial boundary page (positions 4, 5),
+        // sealing which books one COW-headroom page for the still-appending donor.
+        let prefix = donor.share_prefix(6);
+        assert_eq!(prefix.positions(), 6);
+        assert_eq!(prefix.pages_per_layer(), 2);
+        assert_eq!(pool.reserved_pages(), 1, "donor books COW headroom for its sealed boundary page");
+        let mut recipient = PagedKvCache::with_shared_prefix(&pool, 1, 64, scheme, 10, prefix).unwrap();
+        assert_eq!(pool.in_use_pages(), 2);
+        // The recipient's first divergent append writes into the shared boundary page:
+        // copy-on-write (the donor still holds it).
+        recipient.append(0, &sample_row(64, 700), &sample_row(64, 701));
+        assert_eq!(recipient.cow_copies(), 1);
+        assert_eq!(pool.in_use_pages(), 3);
+        // The donor's view of positions 4..6 is untouched by the recipient's write...
+        for t in 4..6 {
+            let (k, _) = read_layer(&mut donor, 0, t);
+            assert_eq!(k, scheme.quantize_dequantize(&sample_row(64, t)), "donor position {t} corrupted");
+        }
+        // ...and the donor's own next append also copy-on-writes (the recipient's copy
+        // dropped the shared handle, so the donor reclaims the page in place, no copy).
+        donor.append(0, &sample_row(64, 800), &sample_row(64, 801));
+        assert_eq!(donor.cow_copies(), 0, "sole owner reclaims in place without copying");
+        assert_eq!(pool.in_use_pages(), 3);
+        // Both caches see their own divergent position 6 and the common prefix.
+        let (dk, _) = read_layer(&mut donor, 0, 6);
+        assert_eq!(dk, scheme.quantize_dequantize(&sample_row(64, 800)));
+        let (rk, _) = read_layer(&mut recipient, 0, 6);
+        assert_eq!(rk, scheme.quantize_dequantize(&sample_row(64, 700)));
+        for t in 0..6 {
+            assert_eq!(read_layer(&mut donor, 0, t), read_layer(&mut recipient, 0, t), "prefix position {t}");
+        }
+        drop(donor);
+        drop(recipient);
+        assert_eq!(pool.free_pages(), 16);
+        assert_eq!(pool.reserved_pages(), 0);
+    }
+
+    #[test]
+    fn shared_pages_outlive_a_retired_donor() {
+        let scheme = QuantScheme::mxfp4_plus();
+        let pool = pool_64(scheme);
+        let mut donor = PagedKvCache::new(&pool, 2, 64, scheme, 4).unwrap();
+        for t in 0..4 {
+            for layer in 0..2 {
+                donor.append(layer, &sample_row(64, t), &sample_row(64, t + 9));
+            }
+        }
+        let prefix = donor.share_prefix(4);
+        let mut recipient = PagedKvCache::with_shared_prefix(&pool, 2, 64, scheme, 8, prefix).unwrap();
+        drop(donor); // retire the donor: the refcount keeps the shared pages resident
+        assert_eq!(pool.in_use_pages(), 2);
+        for t in 0..4 {
+            let (k, _) = read_layer(&mut recipient, 0, t);
+            assert_eq!(k, scheme.quantize_dequantize(&sample_row(64, t)), "shared page freed under a live reader");
+        }
+        drop(recipient);
+        assert_eq!(pool.free_pages(), 16);
+        assert_eq!(pool.reserved_pages(), 0);
+    }
+
+    #[test]
+    fn share_prefix_truncates_to_full_pages_when_headroom_is_unavailable() {
+        let scheme = QuantScheme::mxfp4();
+        // 2-page pool, fully used by the donor: sealing the partial boundary page would
+        // need COW headroom the pool cannot fund, so the prefix truncates to whole pages.
+        let pool = PagePool::for_kv_rows(2, 4, RowCodec::for_scheme(scheme), 64).shared();
+        let mut donor = PagedKvCache::new(&pool, 1, 64, scheme, 8).unwrap();
+        for t in 0..6 {
+            donor.append(0, &sample_row(64, t), &sample_row(64, t));
+        }
+        assert_eq!(pool.available_pages(), 0);
+        let prefix = donor.share_prefix(6);
+        assert_eq!(prefix.positions(), 4, "partial page must be dropped without headroom");
+        assert_eq!(prefix.pages_per_layer(), 1);
+        assert_eq!(pool.reserved_pages(), 0);
+    }
+
+    #[test]
+    fn spill_restore_round_trips_bit_exact() {
+        let scheme = QuantScheme::mxfp4();
+        let pool = pool_64(scheme);
+        let mut cache = PagedKvCache::new(&pool, 2, 64, scheme, 10).unwrap();
+        for t in 0..7 {
+            for layer in 0..2 {
+                cache.append(layer, &sample_row(64, t), &sample_row(64, t + 31));
+            }
+        }
+        let before: Vec<_> = (0..7).map(|t| read_layer(&mut cache, 1, t)).collect();
+        let in_use_before = pool.in_use_pages();
+        let spilled = cache.spill();
+        assert_eq!(cache.seq_len(), 0);
+        assert_eq!(pool.in_use_pages(), 0, "spilling must return every page");
+        assert_eq!(pool.reserved_pages(), 0);
+        assert_eq!(spilled.positions(), 7);
+        assert_eq!(spilled.spill_bytes(), in_use_before * pool.page_bytes());
+        let mut restored = PagedKvCache::restore(&pool, 2, 64, scheme, 10, &spilled).unwrap();
+        assert_eq!(restored.seq_len(), 7);
+        assert_eq!(pool.in_use_pages(), in_use_before);
+        for (t, expected) in before.iter().enumerate() {
+            assert_eq!(&read_layer(&mut restored, 1, t), expected, "restored position {t} diverges");
+        }
+        // The restored cache keeps the original in-capacity append guarantee.
+        for t in 7..10 {
+            for layer in 0..2 {
+                restored.append(layer, &sample_row(64, t), &sample_row(64, t));
+            }
+        }
+        drop(restored);
+        assert_eq!(pool.free_pages(), 16);
+    }
+
+    #[test]
+    fn spilled_donor_leaves_shared_pages_with_the_recipient() {
+        let scheme = QuantScheme::mxfp4();
+        let pool = pool_64(scheme);
+        let mut donor = PagedKvCache::new(&pool, 1, 64, scheme, 4).unwrap();
+        for t in 0..4 {
+            donor.append(0, &sample_row(64, t), &sample_row(64, t + 5));
+        }
+        let prefix = donor.share_prefix(4);
+        let mut recipient = PagedKvCache::with_shared_prefix(&pool, 1, 64, scheme, 8, prefix).unwrap();
+        // Preempting the donor spills a byte copy and drops its refs; the recipient's
+        // refcount keeps the page resident.
+        let spilled = donor.spill();
+        assert_eq!(pool.in_use_pages(), 1);
+        let (k, _) = read_layer(&mut recipient, 0, 2);
+        assert_eq!(k, scheme.quantize_dequantize(&sample_row(64, 2)));
+        // Restoring the donor yields its own exclusive copy, bit-identical.
+        let mut restored = PagedKvCache::restore(&pool, 1, 64, scheme, 4, &spilled).unwrap();
+        assert_eq!(read_layer(&mut restored, 0, 3), read_layer(&mut recipient, 0, 3));
+        drop(restored);
+        drop(recipient);
+        assert_eq!(pool.free_pages(), 16);
+        assert_eq!(pool.reserved_pages(), 0);
     }
 
     #[test]

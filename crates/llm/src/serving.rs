@@ -13,41 +13,66 @@
 //!   (prompt + generation budget), so the scheduler practices true **continuous
 //!   batching**: submissions that do not fit wait in the queue and are admitted mid-run
 //!   as finishing sequences return their pages; submissions whose worst case exceeds the
-//!   whole pool are reported as [`FinishReason::Evicted`].
+//!   whole pool are reported as [`FinishReason::Evicted`] — the *only* thing that
+//!   reason is for, now that preemption handles mere pressure.
+//!
+//! ## Prefix sharing and preemption
+//!
+//! On the paged backend the scheduler exploits the refcounted shared-page ownership
+//! model of [`crate::paging`]:
+//!
+//! * **Prefix sharing** — every submitted prompt's full-page chunks are hash-consed
+//!   into a prefix index; when a later submission's prompt starts with a chunk chain a
+//!   resident sequence has already prefilled, admission seals the donor's pages and maps
+//!   them straight into the new sequence's table ([`PagedKvCache::share_prefix`] /
+//!   [`PagedKvCache::with_shared_prefix`]). The shared positions are never re-prefilled
+//!   and cost **zero** new pages — N sequences sharing a long prompt keep one copy of it
+//!   resident. Writes into a shared boundary page copy-on-write, so outputs stay
+//!   bit-identical to unshared decoding ([`ServingReport::shared_pages`],
+//!   [`ServingReport::prefill_tokens_saved`] quantify the win).
+//! * **Preemption** — when a higher-priority submission ([`SubmitOptions::priority`])
+//!   cannot reserve its worst case, the scheduler spills strictly lower-priority running
+//!   sequences to host memory ([`PagedKvCache::spill`]) instead of refusing admission;
+//!   the victims re-enter the queue and are later restored bit-identically
+//!   ([`ServingReport::preemptions`] counts the swaps).
 //!
 //! ## Threading model
 //!
 //! Within a scheduler step, per-sequence work (prefill on first touch, then one decode
 //! step per pass) is embarrassingly parallel: every sequence exclusively owns its cache
-//! pages and its sampler state, and the model weights are read-only. [`ServingEngine::run`]
-//! therefore fans each step's active sequences out across `num_threads` scoped worker
-//! threads ([`ServingEngine::with_threads`]; default = available parallelism), each
-//! carrying one reusable [`PagedScratch`]. The **coordinator** thread keeps everything
-//! that mutates shared scheduling state: admission (page reservation, FCFS order),
-//! eviction, occupancy sampling, and retirement — returning a finished sequence's pages
-//! to the pool between passes, which is what funds mid-run admissions. Because sequences
-//! are independent, the generated streams are **token-identical for every
-//! `num_threads`**, and `num_threads = 1` runs the exact sequential submission-order
-//! loop of the single-threaded engine.
+//! pages (shared prefix pages are immutable behind their refcount) and its sampler
+//! state, and the model weights are read-only. [`ServingEngine::run`] therefore spawns a
+//! **persistent pool** of `num_threads` decode workers once per run
+//! ([`ServingEngine::with_threads`]; default = available parallelism), each carrying one
+//! reusable [`PagedScratch`] for its whole lifetime, and moves each pass's active
+//! sequences to them over channels (no per-pass thread spawns). The **coordinator**
+//! thread keeps everything that mutates shared scheduling state: admission (page
+//! reservation, priority-then-FCFS order, prefix-share planning), preemption, eviction,
+//! occupancy sampling, and retirement — returning a finished sequence's pages to the
+//! pool between passes, which is what funds mid-run admissions. Because sequences are
+//! independent, the generated streams are **token-identical for every `num_threads`**,
+//! and `num_threads = 1` runs the exact sequential submission-order loop of the
+//! single-threaded engine.
 //!
-//! Sequences finish on their length budget or on a per-sequence stop token
-//! ([`ServingEngine::submit_with_stop`]), each recorded as a [`FinishReason`]; next-token
-//! selection is greedy by default or seeded top-k / top-p per sequence
-//! ([`ServingEngine::submit_with_sampling`]). All cache reads go through the borrowed-view
+//! Sequences finish on their length budget or on a per-sequence stop token, each
+//! recorded as a [`FinishReason`]; next-token selection is greedy by default or seeded
+//! top-k / top-p per sequence. All of it is configured through one [`SubmitOptions`]
+//! builder ([`ServingEngine::submit_with`]). All cache reads go through the borrowed-view
 //! / packed-row-decode hot path, so a whole batched run performs zero full-cache copies;
 //! the [`ServingReport`] pins that invariant, distinguishes the cache's **theoretical**
 //! scheme bytes from the **measured resident** bytes actually allocated, and reports
 //! wall-clock throughput ([`ServingReport::tokens_per_sec_parallel`]) next to the
 //! summed-across-workers decode rate.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use mx_formats::{QuantScheme, RowCodec};
 
 use crate::kvcache::{KvCache, LayerKvCache};
 use crate::model::{DecodePath, TransformerModel};
-use crate::paging::{PagePool, PagedKvCache, PagedScratch, DEFAULT_PAGE_POSITIONS};
+use crate::paging::{PagePool, PagedKvCache, PagedScratch, SpilledKv, DEFAULT_PAGE_POSITIONS};
 use crate::sampling::{sample_token, Sampling, SeqRng};
 
 /// Why a sequence stopped.
@@ -71,6 +96,9 @@ enum SeqCache {
     F32(KvCache),
     /// Active on the paged-packed backend.
     Paged(PagedKvCache),
+    /// Preempted: pages swapped out to a host-side spill buffer, waiting to be
+    /// re-admitted and restored bit-identically.
+    Spilled { spilled: SpilledKv },
     /// Finished on the paged backend: pages returned to the pool, only the final
     /// position count is kept for accounting.
     Retired { positions: usize },
@@ -91,6 +119,21 @@ pub struct Sequence {
     pub stop_token: Option<usize>,
     /// How this sequence picks its next token (greedy unless submitted with sampling).
     pub sampling: Sampling,
+    /// Scheduling priority (see [`SubmitOptions::priority`]): higher admits first and
+    /// may preempt strictly lower under pool pressure.
+    pub priority: i32,
+    /// Scheduler pass at which this submission becomes visible to admission
+    /// (see [`SubmitOptions::arrival_pass`]).
+    pub arrival_pass: usize,
+    /// Whether this sequence may map a matching prompt prefix onto shared pages.
+    share_prefix: bool,
+    /// Chain hashes of the prompt's full pages, computed once at submit time
+    /// (`prefix_hashes[k-1]` covers `prompt[..k * page_positions]`); empty on the f32
+    /// backend. Reused by every admission pass instead of re-hashing the prompt.
+    prefix_hashes: Vec<u64>,
+    /// Prompt positions mapped from a donor's shared pages at admission (0 when nothing
+    /// was shared); prefill skips exactly these positions.
+    shared_positions: usize,
     /// This sequence's own RNG stream — owned, so sampling needs no cross-thread state.
     rng: SeqRng,
     finish: Option<FinishReason>,
@@ -122,14 +165,46 @@ impl Sequence {
         }
     }
 
-    /// Positions this sequence holds (or held, once retired) in its KV cache.
+    /// Positions this sequence holds (or held, once retired) in its KV cache. A
+    /// preempted sequence reports the positions parked in its spill buffer.
     #[must_use]
     pub fn cached_positions(&self) -> usize {
         match &self.cache {
             SeqCache::Waiting => 0,
             SeqCache::F32(c) => c.seq_len(),
             SeqCache::Paged(c) => c.seq_len(),
+            SeqCache::Spilled { spilled } => spilled.positions(),
             SeqCache::Retired { positions } => *positions,
+        }
+    }
+
+    /// Prompt positions this sequence mapped from another sequence's shared pages at
+    /// admission instead of re-prefilling (0 when nothing was shared).
+    #[must_use]
+    pub fn shared_positions(&self) -> usize {
+        self.shared_positions
+    }
+
+    /// A throwaway placeholder parked in the sequence table while the real sequence is
+    /// travelling through a worker's channel; never admitted, stepped or observed.
+    fn parked() -> Sequence {
+        Sequence {
+            id: usize::MAX,
+            prompt: Vec::new(),
+            generated: Vec::new(),
+            max_new_tokens: 0,
+            stop_token: None,
+            sampling: Sampling::GREEDY,
+            priority: 0,
+            arrival_pass: usize::MAX,
+            share_prefix: false,
+            prefix_hashes: Vec::new(),
+            shared_positions: 0,
+            rng: SeqRng::new(0, 0),
+            finish: None,
+            cache: SeqCache::Waiting,
+            next: 0,
+            prefilled: false,
         }
     }
 
@@ -170,9 +245,14 @@ impl Sequence {
     ) -> usize {
         if !self.prefilled {
             let t0 = Instant::now();
+            // Prefix sharing: positions already resident in shared pages are skipped —
+            // the suffix forward starts at `cache.seq_len() == shared_positions`, so the
+            // logits (and every later token) are bit-identical to a full prefill.
             let logits = match &mut self.cache {
                 SeqCache::F32(cache) => model.forward_with_path(&self.prompt, cache, mode),
-                SeqCache::Paged(cache) => model.forward_backend_with_scratch(&self.prompt, cache, scratch),
+                SeqCache::Paged(cache) => {
+                    model.forward_backend_with_scratch(&self.prompt[self.shared_positions..], cache, scratch)
+                }
                 _ => unreachable!("stepped sequence without a cache"),
             };
             self.next = self.sample(logits.row(logits.rows() - 1));
@@ -244,6 +324,17 @@ pub struct ServingReport {
     pub tokens_per_sec_parallel: f64,
     /// Worker threads the run was configured with (see [`ServingEngine::with_threads`]).
     pub num_threads: usize,
+    /// Page-table entries newly admitted sequences mapped from refcounted shared pages
+    /// instead of allocating and re-prefilling them (summed over the run's admissions).
+    pub shared_pages: usize,
+    /// Prompt positions whose prefill compute was skipped because their KV rows were
+    /// already resident in shared pages.
+    pub prefill_tokens_saved: usize,
+    /// Times the scheduler preempted a running sequence — spilling its pages to a
+    /// host-side buffer and restoring them bit-identically later — to fund a
+    /// higher-priority admission. [`FinishReason::Evicted`] stays reserved for requests
+    /// that exceed the entire pool budget.
+    pub preemptions: usize,
     /// Cache bytes by scheme math: every position ever cached, at the scheme's average
     /// width (rows byte-ceiled). What the hardware *would* hold with a perfect layout.
     pub theoretical_bytes: usize,
@@ -281,16 +372,107 @@ fn ratio(num: usize, den: usize) -> f64 {
     }
 }
 
+/// Everything one [`ServingEngine`] submission can configure, built fluently:
+///
+/// ```
+/// use mx_llm::{Sampling, SubmitOptions};
+///
+/// let opts = SubmitOptions::new(64).stop_token(7).sampling(Sampling::top_k(4, 0.9, 1)).priority(2);
+/// assert_eq!(opts.max_new_tokens, 64);
+/// assert_eq!(opts.stop_token, Some(7));
+/// assert!(opts.share_prefix);
+/// ```
+///
+/// This is the one submission surface of the engine — the historical
+/// `submit` / `submit_with_stop` / `submit_with_sampling` trio survives as thin
+/// deprecated wrappers, so prefix-sharing, priority and arrival options never need a
+/// fourth variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubmitOptions {
+    /// Generation budget for the sequence.
+    pub max_new_tokens: usize,
+    /// Token id that terminates the sequence early (never emitted).
+    pub stop_token: Option<usize>,
+    /// Next-token selection policy (greedy by default; see [`crate::sampling`]).
+    pub sampling: Sampling,
+    /// Scheduling priority: higher-priority submissions are admitted first, and under
+    /// pool pressure may preempt strictly lower-priority running sequences (spilling
+    /// their pages, restoring them bit-identically later). Default 0.
+    pub priority: i32,
+    /// Scheduler pass at which the submission becomes visible to admission — the
+    /// deterministic analogue of an online arrival time. Default 0 (present from the
+    /// start); a later pass lets tests and benches model a high-priority request
+    /// arriving while lower-priority work occupies the pool.
+    pub arrival_pass: usize,
+    /// Whether this sequence may map a matching prompt prefix onto another sequence's
+    /// sealed shared pages instead of re-prefilling it. Default `true` — sharing is
+    /// bit-identical, so there is no accuracy reason to opt out; disable it to measure
+    /// the unshared baseline.
+    pub share_prefix: bool,
+}
+
+impl SubmitOptions {
+    /// Options for a plain greedy submission with `max_new_tokens` budget.
+    #[must_use]
+    pub fn new(max_new_tokens: usize) -> Self {
+        SubmitOptions {
+            max_new_tokens,
+            stop_token: None,
+            sampling: Sampling::GREEDY,
+            priority: 0,
+            arrival_pass: 0,
+            share_prefix: true,
+        }
+    }
+
+    /// Finishes the sequence early (without emitting it) when `token` is generated.
+    /// Accepts a bare token id or an `Option` (so call sites holding one need no
+    /// field-mutation dance); `None` leaves the sequence stop-free.
+    #[must_use]
+    pub fn stop_token(mut self, token: impl Into<Option<usize>>) -> Self {
+        self.stop_token = token.into();
+        self
+    }
+
+    /// Selects next tokens with `sampling` instead of greedy argmax.
+    #[must_use]
+    pub fn sampling(mut self, sampling: Sampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Sets the scheduling priority (see [`SubmitOptions::priority`]).
+    #[must_use]
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Delays the submission's visibility to admission until scheduler pass `pass`.
+    #[must_use]
+    pub fn arrival_pass(mut self, pass: usize) -> Self {
+        self.arrival_pass = pass;
+        self
+    }
+
+    /// Opts this sequence out of prefix sharing (used to measure the unshared baseline).
+    #[must_use]
+    pub fn without_prefix_sharing(mut self) -> Self {
+        self.share_prefix = false;
+        self
+    }
+}
+
 /// Decodes a batch of sequences against one model with continuous batching and a decode
 /// worker pool (see the [module docs](crate::serving)).
 ///
 /// ```
-/// use mx_llm::{ModelConfig, ModelQuantConfig, ServingEngine, TransformerModel};
+/// use mx_llm::{ModelConfig, ModelQuantConfig, ServingEngine, SubmitOptions, TransformerModel};
 ///
 /// let model = TransformerModel::new(ModelConfig::tiny_test(3), ModelQuantConfig::BASELINE);
 /// let mut engine = ServingEngine::new(&model);
-/// engine.submit(&[1, 2, 3], 4);
-/// engine.submit(&[9, 8], 4);
+/// engine.submit_with(&[1, 2, 3], SubmitOptions::new(4));
+/// engine.submit_with(&[9, 8], SubmitOptions::new(4));
 /// let report = engine.run();
 /// assert_eq!(report.sequences, 2);
 /// assert_eq!(report.generated_tokens, 8);
@@ -304,6 +486,9 @@ pub struct ServingEngine<'m> {
     mode: DecodePath,
     pool: Option<Arc<PagePool>>,
     num_threads: usize,
+    /// Hash-consed prompt prefixes: chain hash of each full page of prompt positions →
+    /// the sequence ids whose prompts contain that page chunk, in submission order.
+    prefix_index: HashMap<u64, Vec<usize>>,
 }
 
 impl<'m> ServingEngine<'m> {
@@ -311,20 +496,21 @@ impl<'m> ServingEngine<'m> {
     /// zero-copy cache path (every submission is admitted immediately).
     #[must_use]
     pub fn new(model: &'m TransformerModel) -> Self {
-        ServingEngine {
-            model,
-            sequences: Vec::new(),
-            mode: DecodePath::ZeroCopy,
-            pool: None,
-            num_threads: default_threads(),
-        }
+        ServingEngine::with_path(model, DecodePath::ZeroCopy)
     }
 
     /// Creates an f32-backend engine with an explicit [`DecodePath`] (`SeedClone` is only
     /// useful for benchmarking the pre-refactor decode path).
     #[must_use]
     pub fn with_path(model: &'m TransformerModel, mode: DecodePath) -> Self {
-        ServingEngine { model, sequences: Vec::new(), mode, pool: None, num_threads: default_threads() }
+        ServingEngine {
+            model,
+            sequences: Vec::new(),
+            mode,
+            pool: None,
+            num_threads: default_threads(),
+            prefix_index: HashMap::new(),
+        }
     }
 
     /// Creates an engine on the paged-packed backend with a pool of `total_pages` pages
@@ -347,6 +533,7 @@ impl<'m> ServingEngine<'m> {
             mode: DecodePath::ZeroCopy,
             pool: Some(pool),
             num_threads: default_threads(),
+            prefix_index: HashMap::new(),
         }
     }
 
@@ -380,13 +567,56 @@ impl<'m> ServingEngine<'m> {
         model.config().head_dim() * model.config().kv_heads
     }
 
+    /// Queues a sequence with the given [`SubmitOptions`] and returns the sequence id.
+    /// The sequence's RNG stream is derived from the sampling seed and the sequence id,
+    /// so runs are reproducible at any thread count. On the paged backend the prompt's
+    /// full-page chunks are hash-consed into the prefix index, making the sequence a
+    /// potential prefix-sharing donor for later submissions (and a recipient, unless
+    /// [`SubmitOptions::without_prefix_sharing`] was set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty.
+    pub fn submit_with(&mut self, prompt: &[usize], options: SubmitOptions) -> usize {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        let id = self.sequences.len();
+        let mut prefix_hashes = Vec::new();
+        if let Some(pool) = &self.pool {
+            let pp = pool.page_positions();
+            prefix_hashes = prefix_page_hashes(prompt, pp, prompt.len() / pp);
+            for &hash in &prefix_hashes {
+                self.prefix_index.entry(hash).or_default().push(id);
+            }
+        }
+        self.sequences.push(Sequence {
+            id,
+            prompt: prompt.to_vec(),
+            generated: Vec::with_capacity(options.max_new_tokens),
+            max_new_tokens: options.max_new_tokens,
+            stop_token: options.stop_token,
+            sampling: options.sampling,
+            priority: options.priority,
+            arrival_pass: options.arrival_pass,
+            share_prefix: options.share_prefix,
+            prefix_hashes,
+            shared_positions: 0,
+            rng: SeqRng::new(options.sampling.seed, id as u64),
+            finish: None,
+            cache: SeqCache::Waiting,
+            next: 0,
+            prefilled: false,
+        });
+        id
+    }
+
     /// Queues a sequence. Returns the sequence id.
     ///
     /// # Panics
     ///
     /// Panics if the prompt is empty.
+    #[deprecated(since = "0.1.0", note = "use `submit_with` with a `SubmitOptions` builder")]
     pub fn submit(&mut self, prompt: &[usize], max_new_tokens: usize) -> usize {
-        self.submit_with_stop(prompt, max_new_tokens, None)
+        self.submit_with(prompt, SubmitOptions::new(max_new_tokens))
     }
 
     /// Queues a sequence that additionally finishes (without emitting it) when it
@@ -395,18 +625,18 @@ impl<'m> ServingEngine<'m> {
     /// # Panics
     ///
     /// Panics if the prompt is empty.
+    #[deprecated(since = "0.1.0", note = "use `submit_with` with a `SubmitOptions` builder")]
     pub fn submit_with_stop(&mut self, prompt: &[usize], max_new_tokens: usize, stop_token: Option<usize>) -> usize {
-        self.submit_with_sampling(prompt, max_new_tokens, stop_token, Sampling::GREEDY)
+        self.submit_with(prompt, SubmitOptions::new(max_new_tokens).stop_token(stop_token))
     }
 
-    /// Queues a sequence with an explicit [`Sampling`] configuration (greedy, top-k or
-    /// top-p; see [`crate::sampling`]). The sequence's RNG stream is derived from the
-    /// sampling seed and the sequence id, so runs are reproducible at any thread count.
-    /// Returns the sequence id.
+    /// Queues a sequence with an explicit [`Sampling`] configuration. Returns the
+    /// sequence id.
     ///
     /// # Panics
     ///
     /// Panics if the prompt is empty.
+    #[deprecated(since = "0.1.0", note = "use `submit_with` with a `SubmitOptions` builder")]
     pub fn submit_with_sampling(
         &mut self,
         prompt: &[usize],
@@ -414,22 +644,7 @@ impl<'m> ServingEngine<'m> {
         stop_token: Option<usize>,
         sampling: Sampling,
     ) -> usize {
-        assert!(!prompt.is_empty(), "prompt must be non-empty");
-        let id = self.sequences.len();
-        self.sequences.push(Sequence {
-            id,
-            prompt: prompt.to_vec(),
-            generated: Vec::with_capacity(max_new_tokens),
-            max_new_tokens,
-            stop_token,
-            sampling,
-            rng: SeqRng::new(sampling.seed, id as u64),
-            finish: None,
-            cache: SeqCache::Waiting,
-            next: 0,
-            prefilled: false,
-        });
-        id
+        self.submit_with(prompt, SubmitOptions::new(max_new_tokens).stop_token(stop_token).sampling(sampling))
     }
 
     /// The sequences in submission order.
@@ -440,80 +655,113 @@ impl<'m> ServingEngine<'m> {
 
     /// Runs the scheduler until every submitted sequence has finished (or been evicted).
     ///
-    /// Each pass of the coordinator loop: admit waiting sequences whenever their worst
-    /// case fits the page budget (FCFS), fan the active sequences out across the decode
-    /// worker pool — each worker prefills newly admitted sequences on first touch and
-    /// then decodes one token per sequence per pass — sample peak occupancy, and retire
+    /// Each pass of the coordinator loop: admit arrived waiting (or preempted) sequences
+    /// whenever their worst case fits the page budget — mapping any matching prompt
+    /// prefix onto shared pages and preempting strictly lower-priority running sequences
+    /// under pressure — fan the active sequences out across the persistent decode worker
+    /// pool (each worker prefills newly admitted sequences on first touch and then
+    /// decodes one token per sequence per pass), sample peak occupancy, and retire
     /// finished sequences so their pages fund queued admissions.
     pub fn run(&mut self) -> ServingReport {
         let run_start = Instant::now();
-        let mut prefill_time = Duration::ZERO;
-        let mut decode_time = Duration::ZERO;
-        let mut prompt_tokens = 0usize;
-        let mut generated = 0usize;
-        let mut peak_resident = self.resident_bytes();
+        let mut stats = RunStats::default();
+        if self.num_threads == 1 {
+            self.drive(None, &mut stats);
+        } else {
+            let model = self.model;
+            let mode = self.mode;
+            let num_threads = self.num_threads;
+            std::thread::scope(|scope| {
+                let workers = WorkerPool::spawn(scope, model, mode, num_threads);
+                self.drive(Some(&workers), &mut stats);
+                // Dropping the pool's job senders here ends every worker's receive
+                // loop; the scope then joins them.
+            });
+        }
+        self.report(run_start, &stats)
+    }
+
+    /// The coordinator loop (see [`ServingEngine::run`]). With `workers == None` the
+    /// coordinator doubles as the only worker, carrying one scratch across the whole run
+    /// exactly like a pool worker would — the exact sequential engine.
+    fn drive(&mut self, workers: Option<&WorkerPool>, stats: &mut RunStats) {
         let model = self.model;
         let mode = self.mode;
-        // The coordinator doubles as the (only) worker when num_threads == 1, carrying
-        // one scratch across the whole run exactly like a pool worker would.
         let mut coordinator_scratch = PagedScratch::default();
+        stats.peak_resident = stats.peak_resident.max(self.resident_bytes());
+        let mut pass = 0usize;
 
         loop {
-            self.admit_waiting(&mut prompt_tokens);
-            peak_resident = peak_resident.max(self.resident_bytes());
+            self.admit_waiting(pass, stats);
+            stats.peak_resident = stats.peak_resident.max(self.resident_bytes());
 
-            let mut active: Vec<&mut Sequence> = self
+            let active: Vec<usize> = self
                 .sequences
-                .iter_mut()
-                .filter(|s| s.finish.is_none() && !matches!(s.cache, SeqCache::Waiting))
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.finish.is_none() && matches!(s.cache, SeqCache::F32(_) | SeqCache::Paged(_)))
+                .map(|(i, _)| i)
                 .collect();
             let progressed = !active.is_empty();
-            let workers = self.num_threads.min(active.len());
-            if workers <= 1 {
-                for seq in active {
-                    generated += seq.step(model, mode, &mut coordinator_scratch, &mut prefill_time, &mut decode_time);
+            match workers {
+                None => {
+                    for &idx in &active {
+                        stats.generated += self.sequences[idx].step(
+                            model,
+                            mode,
+                            &mut coordinator_scratch,
+                            &mut stats.prefill_time,
+                            &mut stats.decode_time,
+                        );
+                    }
                 }
-            } else {
-                // Contiguous chunks preserve submission order within each worker; the
-                // scoped threads borrow disjoint &mut sequences, so no step takes a lock
-                // outside page-boundary allocations.
-                let per_worker = active.len().div_ceil(workers);
-                let results: Vec<(usize, Duration, Duration)> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = active
-                        .chunks_mut(per_worker)
-                        .map(|chunk| {
-                            scope.spawn(move || {
-                                let mut scratch = PagedScratch::default();
-                                let mut tokens = 0usize;
-                                let (mut prefill, mut decode) = (Duration::ZERO, Duration::ZERO);
-                                for seq in chunk.iter_mut() {
-                                    tokens += seq.step(model, mode, &mut scratch, &mut prefill, &mut decode);
-                                }
-                                (tokens, prefill, decode)
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("decode worker panicked")).collect()
-                });
-                for (tokens, prefill, decode) in results {
-                    generated += tokens;
-                    prefill_time += prefill;
-                    decode_time += decode;
+                Some(pool) => {
+                    // Contiguous chunks preserve submission order within each worker.
+                    // Sequences physically move through the channels (a parked
+                    // placeholder holds their table slot), so workers own what they
+                    // step — no borrows cross threads.
+                    let used = pool.jobs.len().min(active.len());
+                    let per_worker = active.len().div_ceil(used.max(1));
+                    let mut sent = vec![0usize; pool.jobs.len()];
+                    for (worker, chunk) in active.chunks(per_worker.max(1)).enumerate() {
+                        for &idx in chunk {
+                            let seq = std::mem::replace(&mut self.sequences[idx], Sequence::parked());
+                            pool.jobs[worker].send((idx, seq)).expect("decode worker hung up");
+                            sent[worker] += 1;
+                        }
+                    }
+                    for (worker, &count) in sent.iter().enumerate() {
+                        for _ in 0..count {
+                            let out = pool.results[worker].recv().expect("decode worker panicked");
+                            self.sequences[out.index] = out.seq;
+                            stats.generated += out.tokens;
+                            stats.prefill_time += out.prefill;
+                            stats.decode_time += out.decode;
+                        }
+                    }
                 }
             }
 
             // Pool occupancy only grows during a pass (retirement is below), so sampling
             // here captures the exact peak before the coordinator reclaims pages.
-            peak_resident = peak_resident.max(self.resident_bytes());
+            stats.peak_resident = stats.peak_resident.max(self.resident_bytes());
             for seq in &mut self.sequences {
                 seq.retire();
             }
 
-            if !progressed && !self.sequences.iter().any(|s| s.finish.is_none() && !s.prefilled) {
+            pass += 1;
+            let pending = self
+                .sequences
+                .iter()
+                .any(|s| s.finish.is_none() && matches!(s.cache, SeqCache::Waiting | SeqCache::Spilled { .. }));
+            if !progressed && !pending {
                 break;
             }
         }
+    }
 
+    /// Assembles the [`ServingReport`] of a finished run.
+    fn report(&self, run_start: Instant, stats: &RunStats) -> ServingReport {
         let wall_seconds = run_start.elapsed().as_secs_f64();
         let scheme = self.model.quant().kv_cache;
         let kv_dim = Self::kv_dim(self.model);
@@ -530,21 +778,28 @@ impl<'m> ServingEngine<'m> {
             finished_length: count(FinishReason::Length),
             finished_stop: count(FinishReason::Stop),
             evicted: count(FinishReason::Evicted),
-            prompt_tokens,
-            generated_tokens: generated,
-            prefill_time,
-            decode_time,
-            decode_tokens_per_sec: if decode_time.is_zero() {
+            prompt_tokens: stats.prompt_tokens,
+            generated_tokens: stats.generated,
+            prefill_time: stats.prefill_time,
+            decode_time: stats.decode_time,
+            decode_tokens_per_sec: if stats.decode_time.is_zero() {
                 f64::INFINITY
             } else {
-                generated as f64 / decode_time.as_secs_f64()
+                stats.generated as f64 / stats.decode_time.as_secs_f64()
             },
             wall_seconds,
-            tokens_per_sec_parallel: if wall_seconds == 0.0 { f64::INFINITY } else { generated as f64 / wall_seconds },
+            tokens_per_sec_parallel: if wall_seconds == 0.0 {
+                f64::INFINITY
+            } else {
+                stats.generated as f64 / wall_seconds
+            },
             num_threads: self.num_threads,
+            shared_pages: stats.shared_pages,
+            prefill_tokens_saved: stats.prefill_tokens_saved,
+            preemptions: stats.preemptions,
             theoretical_bytes: theoretical(scheme),
             theoretical_bytes_fp32: theoretical(QuantScheme::Fp32),
-            resident_bytes: peak_resident,
+            resident_bytes: stats.peak_resident,
             cache_materializations: self
                 .sequences
                 .iter()
@@ -556,42 +811,234 @@ impl<'m> ServingEngine<'m> {
         }
     }
 
-    /// Admits waiting sequences in submission order (FCFS): on the f32 backend every
-    /// sequence is admitted; on the paged backend admission reserves the sequence's
-    /// worst-case page count, stalling the queue (not skipping ahead) when the head does
-    /// not fit yet, and evicting sequences that exceed the entire pool budget. Prefill
-    /// itself is *not* done here — the worker that first steps an admitted sequence
-    /// prefills it, keeping the coordinator to pure bookkeeping.
-    fn admit_waiting(&mut self, prompt_tokens: &mut usize) {
-        let cfg = self.model.config();
+    /// Admits arrived waiting and preempted sequences: highest priority first, FCFS
+    /// (submission id) within a priority class — the default priority 0 everywhere
+    /// reproduces the old pure-FCFS order exactly. On the f32 backend every sequence is
+    /// admitted; on the paged backend admission reserves the sequence's worst-case page
+    /// count (reduced by any shared prompt prefix), preempting strictly lower-priority
+    /// running sequences when the reservation does not fit, and stalling the queue (not
+    /// skipping ahead) when the head still cannot be funded. Prefill itself is *not*
+    /// done here — the worker that first steps an admitted sequence prefills it, keeping
+    /// the coordinator to pure bookkeeping.
+    fn admit_waiting(&mut self, pass: usize, stats: &mut RunStats) {
+        let mut waiting: Vec<usize> = (0..self.sequences.len())
+            .filter(|&i| {
+                let s = &self.sequences[i];
+                s.finish.is_none()
+                    && s.arrival_pass <= pass
+                    && matches!(s.cache, SeqCache::Waiting | SeqCache::Spilled { .. })
+            })
+            .collect();
+        waiting.sort_by_key(|&i| (std::cmp::Reverse(self.sequences[i].priority), i));
+        for idx in waiting {
+            if !self.try_admit(idx, stats) {
+                // Head-of-line blocking: the queue stalls rather than skipping ahead.
+                break;
+            }
+        }
+    }
+
+    /// Tries to admit sequence `idx`; returns whether admission should keep going.
+    fn try_admit(&mut self, idx: usize, stats: &mut RunStats) -> bool {
+        let layers = self.model.config().layers;
         let kv_dim = Self::kv_dim(self.model);
         let scheme = self.model.quant().kv_cache;
-        for seq in &mut self.sequences {
-            if seq.finish.is_some() || !matches!(seq.cache, SeqCache::Waiting) {
-                continue;
-            }
-            let capacity = seq.prompt.len() + seq.max_new_tokens;
-            match &self.pool {
-                None => {
-                    seq.cache = SeqCache::F32(KvCache::with_capacity(cfg.layers, kv_dim, capacity));
+        let capacity = self.sequences[idx].prompt.len() + self.sequences[idx].max_new_tokens;
+        let Some(pool) = self.pool.clone() else {
+            let seq = &mut self.sequences[idx];
+            seq.cache = SeqCache::F32(KvCache::with_capacity(layers, kv_dim, capacity));
+            stats.prompt_tokens += seq.prompt.len();
+            return true;
+        };
+        if matches!(self.sequences[idx].cache, SeqCache::Spilled { .. }) {
+            // Re-admitting a preempted sequence: the full worst-case reservation again
+            // (its prompt was already counted at first admission), then restore the
+            // spilled page bytes verbatim.
+            let needed = PagedKvCache::pages_needed(&pool, layers, capacity);
+            self.preempt_until(idx, needed, None, stats);
+            let restored = match &self.sequences[idx].cache {
+                SeqCache::Spilled { spilled } => {
+                    PagedKvCache::restore(&pool, layers, kv_dim, scheme, capacity, spilled)
                 }
-                Some(pool) => {
-                    let needed = PagedKvCache::pages_needed(pool, cfg.layers, capacity);
-                    if needed > pool.total_pages() {
-                        // Larger than the whole budget: no amount of retirement can ever
-                        // admit it.
-                        seq.finish(FinishReason::Evicted);
-                        continue;
-                    }
-                    match PagedKvCache::new(pool, cfg.layers, kv_dim, scheme, capacity) {
-                        Ok(cache) => seq.cache = SeqCache::Paged(cache),
-                        // Head-of-line waits for pages; preserve submission order.
-                        Err(_) => break,
-                    }
+                _ => unreachable!("checked Spilled above"),
+            };
+            return match restored {
+                Ok(cache) => {
+                    self.sequences[idx].cache = SeqCache::Paged(cache);
+                    true
                 }
-            }
-            *prompt_tokens += seq.prompt.len();
+                Err(_) => false,
+            };
         }
+        let needed_plain = PagedKvCache::pages_needed(&pool, layers, capacity);
+        if needed_plain > pool.total_pages() {
+            // Larger than the whole budget: no amount of retirement or preemption can
+            // ever admit it — the one true capacity failure Evicted is reserved for.
+            self.sequences[idx].finish(FinishReason::Evicted);
+            return true;
+        }
+        let plan = match self.plan_prefix_share(idx) {
+            // A matching donor is admitted but not prefilled yet (prefill happens on a
+            // worker's first touch): defer this admission one pass — trading a pass of
+            // latency for the donor's entire shared prefill — without blocking the queue.
+            Some(SharePlan::Pending) => return true,
+            Some(SharePlan::Ready { donor, positions }) => Some((donor, positions)),
+            None => None,
+        };
+        let needed = match plan {
+            Some((_, positions)) => {
+                // Count the donor's worst-case copy-on-write headroom for a non-aligned
+                // boundary page alongside the recipient's reservation: share_prefix
+                // books it first, so preemption must free enough for both or victims
+                // would be spilled for an admission that stalls anyway.
+                let headroom = if positions.is_multiple_of(pool.page_positions()) { 0 } else { layers };
+                PagedKvCache::pages_needed_with_prefix(&pool, layers, capacity, positions) + headroom
+            }
+            None => needed_plain,
+        };
+        // Never spill the planned donor to fund its own recipient: the victim filter
+        // protects it (spilling it would both destroy the pages about to be shared and
+        // leave the plan pointing at a non-paged cache).
+        self.preempt_until(idx, needed, plan.map(|(donor, _)| donor), stats);
+        let cache = match plan {
+            Some((donor, positions)) => {
+                let prefix = match &mut self.sequences[donor].cache {
+                    SeqCache::Paged(cache) => cache.share_prefix(positions),
+                    _ => unreachable!("planned donor must hold a paged cache"),
+                };
+                // share_prefix may truncate a partial boundary page under pressure;
+                // account what was actually taken.
+                let (shared_positions, shared_pages) = (prefix.positions(), prefix.total_pages());
+                match PagedKvCache::with_shared_prefix(&pool, layers, kv_dim, scheme, capacity, prefix) {
+                    Ok(cache) => {
+                        stats.shared_pages += shared_pages;
+                        stats.prefill_tokens_saved += shared_positions;
+                        self.sequences[idx].shared_positions = shared_positions;
+                        Some(cache)
+                    }
+                    Err(_) => None,
+                }
+            }
+            None => PagedKvCache::new(&pool, layers, kv_dim, scheme, capacity).ok(),
+        };
+        match cache {
+            Some(cache) => {
+                let seq = &mut self.sequences[idx];
+                seq.cache = SeqCache::Paged(cache);
+                stats.prompt_tokens += seq.prompt.len();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Preempts strictly lower-priority running sequences — spilling their pages to
+    /// host memory via [`PagedKvCache::spill`] — until `needed` pages are available for
+    /// sequence `idx` or no eligible victim remains. Victims are chosen lowest priority
+    /// first, youngest (highest id) first within a class; `protected` (the planned
+    /// prefix-share donor, when there is one) is never spilled. Preempted sequences
+    /// re-enter admission as [`SeqCache::Spilled`] and resume bit-identically once
+    /// restored.
+    fn preempt_until(&mut self, idx: usize, needed: usize, protected: Option<usize>, stats: &mut RunStats) {
+        let Some(pool) = self.pool.clone() else { return };
+        let eligible = |i: usize, s: &Sequence, priority: i32| {
+            i != idx
+                && Some(i) != protected
+                && s.finish.is_none()
+                && s.prefilled
+                && s.priority < priority
+                && matches!(s.cache, SeqCache::Paged(_))
+        };
+        // Spilling is wasted work if even every eligible victim together cannot fund the
+        // admission: check the guaranteed-reclaimable total (exclusively owned pages plus
+        // unused reservations; shared pages may stay resident with other holders) first
+        // and bail without demoting anyone when it cannot reach `needed`.
+        let priority = self.sequences[idx].priority;
+        let reclaimable: usize = self
+            .sequences
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| eligible(*i, s, priority))
+            .map(|(_, s)| match &s.cache {
+                SeqCache::Paged(cache) => cache.reclaimable_pages(),
+                _ => 0,
+            })
+            .sum();
+        if pool.available_pages() + reclaimable < needed {
+            return;
+        }
+        while pool.available_pages() < needed {
+            let victim = self
+                .sequences
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| eligible(*i, s, priority))
+                .min_by_key(|(i, s)| (s.priority, std::cmp::Reverse(*i)))
+                .map(|(i, _)| i);
+            let Some(victim) = victim else { return };
+            let seq = &mut self.sequences[victim];
+            let spilled = match &mut seq.cache {
+                SeqCache::Paged(cache) => cache.spill(),
+                _ => unreachable!("victim must hold a paged cache"),
+            };
+            seq.cache = SeqCache::Spilled { spilled };
+            stats.preemptions += 1;
+        }
+    }
+
+    /// Longest shareable prompt prefix for waiting sequence `idx`: looks up the
+    /// hash-consed per-page chain hashes of its prompt in the prefix index (longest
+    /// first), verifies the candidate donor's actual tokens and cached length (guarding
+    /// against hash collisions), then extends token-by-token into the donor's partially
+    /// filled boundary page. Capped at `prompt_len - 1`: the last prompt position must
+    /// be re-run to produce the logits the first generated token is sampled from.
+    ///
+    /// A donor whose prompt matches but whose prefill has not run yet (it was admitted
+    /// this pass) yields [`SharePlan::Pending`], telling admission to check again next
+    /// pass instead of prefill-ing the same prefix twice.
+    fn plan_prefix_share(&self, idx: usize) -> Option<SharePlan> {
+        let pool = self.pool.as_ref()?;
+        let seq = &self.sequences[idx];
+        if !seq.share_prefix {
+            return None;
+        }
+        let pp = pool.page_positions();
+        let prompt = &seq.prompt;
+        let max_shared = prompt.len() - 1;
+        let max_pages = max_shared / pp;
+        if max_pages == 0 {
+            return None;
+        }
+        // The chain hashes were computed once at submit time; max_pages never exceeds
+        // the stored count (it is capped at (prompt_len - 1) / pp).
+        let hashes = &seq.prefix_hashes;
+        let mut pending = false;
+        for pages in (1..=max_pages).rev() {
+            for &donor_idx in self.prefix_index.get(&hashes[pages - 1]).into_iter().flatten() {
+                if donor_idx == idx {
+                    continue;
+                }
+                let donor = &self.sequences[donor_idx];
+                let SeqCache::Paged(cache) = &donor.cache else { continue };
+                if donor.finish.is_some() || donor.prompt.len() < pages * pp {
+                    continue;
+                }
+                if donor.prompt[..pages * pp] != prompt[..pages * pp] {
+                    continue;
+                }
+                if cache.seq_len() < pages * pp {
+                    pending = true;
+                    continue;
+                }
+                let limit = max_shared.min(donor.prompt.len()).min(cache.seq_len());
+                let mut shared = pages * pp;
+                while shared < limit && prompt[shared] == donor.prompt[shared] {
+                    shared += 1;
+                }
+                return Some(SharePlan::Ready { donor: donor_idx, positions: shared });
+            }
+        }
+        pending.then_some(SharePlan::Pending)
     }
 
     /// Current measured cache storage across the engine (see
@@ -609,6 +1056,105 @@ impl<'m> ServingEngine<'m> {
                 .sum(),
         }
     }
+}
+
+/// Admission's prefix-sharing decision for one waiting sequence.
+enum SharePlan {
+    /// Map `positions` prompt positions from `donor`'s sealed pages.
+    Ready {
+        /// Index of the donor sequence.
+        donor: usize,
+        /// Prompt positions to share.
+        positions: usize,
+    },
+    /// A matching donor exists but has not prefilled yet — defer one pass.
+    Pending,
+}
+
+/// Per-run accumulators the coordinator threads through admission and stepping.
+#[derive(Debug, Default)]
+struct RunStats {
+    prompt_tokens: usize,
+    generated: usize,
+    prefill_time: Duration,
+    decode_time: Duration,
+    peak_resident: usize,
+    shared_pages: usize,
+    prefill_tokens_saved: usize,
+    preemptions: usize,
+}
+
+/// One step's result travelling back from a decode worker to the coordinator.
+struct StepOutcome {
+    index: usize,
+    seq: Sequence,
+    tokens: usize,
+    prefill: Duration,
+    decode: Duration,
+}
+
+/// Long-lived decode workers fed over channels: spawned **once per run** (not once per
+/// scheduler pass, as the earlier `std::thread::scope`-per-pass design did), each
+/// carrying one reusable [`PagedScratch`] for its whole lifetime. The coordinator moves
+/// sequences to workers by value through per-worker job channels and collects them back
+/// over one shared result channel, so workers own what they step and nothing is borrowed
+/// across threads.
+struct WorkerPool {
+    jobs: Vec<mpsc::Sender<(usize, Sequence)>>,
+    /// One result channel per worker: if a worker panics, its sender drops and the
+    /// coordinator's `recv` sees a disconnect instead of blocking forever on a shared
+    /// channel held open by the surviving workers.
+    results: Vec<mpsc::Receiver<StepOutcome>>,
+}
+
+impl WorkerPool {
+    fn spawn<'scope, 'env>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        model: &'env TransformerModel,
+        mode: DecodePath,
+        num_threads: usize,
+    ) -> WorkerPool {
+        let mut jobs = Vec::with_capacity(num_threads);
+        let mut results = Vec::with_capacity(num_threads);
+        for _ in 0..num_threads {
+            let (job_tx, job_rx) = mpsc::channel::<(usize, Sequence)>();
+            let (result_tx, result_rx) = mpsc::channel();
+            scope.spawn(move || {
+                let mut scratch = PagedScratch::default();
+                while let Ok((index, mut seq)) = job_rx.recv() {
+                    let (mut prefill, mut decode) = (Duration::ZERO, Duration::ZERO);
+                    let tokens = seq.step(model, mode, &mut scratch, &mut prefill, &mut decode);
+                    if result_tx.send(StepOutcome { index, seq, tokens, prefill, decode }).is_err() {
+                        break;
+                    }
+                }
+            });
+            jobs.push(job_tx);
+            results.push(result_rx);
+        }
+        WorkerPool { jobs, results }
+    }
+}
+
+/// One mixing step of the chained prompt-prefix hash (FNV/SplitMix-style, deterministic
+/// across platforms).
+fn prefix_hash_step(hash: u64, token: usize) -> u64 {
+    (hash ^ (token as u64).wrapping_add(0x9e37_79b9_7f4a_7c15)).wrapping_mul(0x0100_0000_01b3).rotate_left(23)
+}
+
+/// Chained token hashes of `prompt`, recorded at every full-page boundary up to `pages`
+/// pages — the hash-consing keys of the engine's prefix index. `hashes[k-1]` covers
+/// `prompt[..k * page_positions]`.
+fn prefix_page_hashes(prompt: &[usize], page_positions: usize, pages: usize) -> Vec<u64> {
+    let mut hashes = Vec::with_capacity(pages);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for (i, &token) in prompt.iter().take(pages * page_positions).enumerate() {
+        hash = prefix_hash_step(hash, token);
+        if (i + 1).is_multiple_of(page_positions) {
+            hashes.push(hash);
+        }
+    }
+    hashes
 }
 
 /// Default worker count: the machine's available parallelism (1 if unknown).
@@ -632,7 +1178,7 @@ mod tests {
         let prompts: [&[usize]; 3] = [&[1, 2, 3], &[7, 7], &[10, 20, 30, 40]];
         let mut engine = ServingEngine::new(&model);
         for p in prompts {
-            engine.submit(p, 6);
+            engine.submit_with(p, SubmitOptions::new(6));
         }
         let report = engine.run();
         assert_eq!(report.generated_tokens, 18);
@@ -651,8 +1197,8 @@ mod tests {
     fn report_accounts_tokens_and_cache_bytes() {
         let model = model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
         let mut engine = ServingEngine::new(&model);
-        engine.submit(&[1, 2, 3, 4], 5);
-        engine.submit(&[5, 6], 5);
+        engine.submit_with(&[1, 2, 3, 4], SubmitOptions::new(5));
+        engine.submit_with(&[5, 6], SubmitOptions::new(5));
         let report = engine.run();
         assert_eq!(report.sequences, 2);
         assert_eq!(report.prompt_tokens, 6);
@@ -686,13 +1232,13 @@ mod tests {
         let model = model(ModelQuantConfig::BASELINE);
         let mut engine = ServingEngine::new(&model);
         for p in 0..4 {
-            engine.submit(&[p + 1, p + 2], 8);
+            engine.submit_with(&[p + 1, p + 2], SubmitOptions::new(8));
         }
         let report = engine.run();
         assert_eq!(report.cache_materializations, 0);
         // The clone-based mode, by contrast, materializes twice per layer per forward.
         let mut legacy = ServingEngine::with_path(&model, DecodePath::SeedClone);
-        legacy.submit(&[1, 2], 2);
+        legacy.submit_with(&[1, 2], SubmitOptions::new(2));
         let legacy_report = legacy.run();
         assert!(legacy_report.cache_materializations > 0);
         assert_eq!(legacy.sequences()[0].generated, engine.sequences()[0].generated[..2]);
@@ -702,7 +1248,7 @@ mod tests {
     fn run_is_idempotent_once_finished() {
         let model = model(ModelQuantConfig::BASELINE);
         let mut engine = ServingEngine::new(&model);
-        engine.submit(&[2, 4, 6], 3);
+        engine.submit_with(&[2, 4, 6], SubmitOptions::new(3));
         let first = engine.run();
         assert_eq!(first.generated_tokens, 3);
         let second = engine.run();
@@ -719,7 +1265,7 @@ mod tests {
         let free = model.generate_greedy(&[3, 1, 4], 8);
         let stop = free[3];
         let mut engine = ServingEngine::new(&model);
-        engine.submit_with_stop(&[3, 1, 4], 8, Some(stop));
+        engine.submit_with(&[3, 1, 4], SubmitOptions::new(8).stop_token(stop));
         let report = engine.run();
         let seq = &engine.sequences()[0];
         assert_eq!(seq.finish_reason(), Some(FinishReason::Stop));
@@ -736,7 +1282,7 @@ mod tests {
         let free = model.generate_greedy(&[2, 2], 4);
         let never = (0..model.config().vocab).find(|t| !free.contains(t)).unwrap();
         let mut engine = ServingEngine::new(&model);
-        engine.submit_with_stop(&[2, 2], 4, Some(never));
+        engine.submit_with(&[2, 2], SubmitOptions::new(4).stop_token(never));
         engine.run();
         let seq = &engine.sequences()[0];
         assert_eq!(seq.finish_reason(), Some(FinishReason::Length));
@@ -747,7 +1293,7 @@ mod tests {
     fn zero_budget_sequences_finish_without_tokens() {
         let model = model(ModelQuantConfig::BASELINE);
         let mut engine = ServingEngine::new(&model);
-        engine.submit(&[1, 2, 3], 0);
+        engine.submit_with(&[1, 2, 3], SubmitOptions::new(0));
         let report = engine.run();
         assert_eq!(report.generated_tokens, 0);
         assert_eq!(report.prompt_tokens, 3);
@@ -762,8 +1308,8 @@ mod tests {
         let mut flat = ServingEngine::new(&model);
         let mut paged = ServingEngine::paged(&model, 64);
         for p in prompts {
-            flat.submit(p, 6);
-            paged.submit(p, 6);
+            flat.submit_with(p, SubmitOptions::new(6));
+            paged.submit_with(p, SubmitOptions::new(6));
         }
         let flat_report = flat.run();
         let paged_report = paged.run();
@@ -790,7 +1336,7 @@ mod tests {
         // holds at most two at a time, so 6 submissions must queue.
         let mut engine = ServingEngine::paged(&model, 5);
         for s in 0..6usize {
-            engine.submit(&[s + 1, s + 2], 14);
+            engine.submit_with(&[s + 1, s + 2], SubmitOptions::new(14));
         }
         let report = engine.run();
         assert_eq!(report.sequences, 6);
@@ -814,9 +1360,9 @@ mod tests {
     fn sequences_larger_than_the_pool_are_evicted_not_deadlocked() {
         let model = model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
         let mut engine = ServingEngine::paged(&model, 4);
-        engine.submit(&[1, 2], 6); // fits: 2 pages
-        engine.submit(&[3, 4], 200); // needs 2 * ceil(202/16) = 26 pages > 4: evicted
-        engine.submit(&[5, 6], 6); // fits after the big one is evicted
+        engine.submit_with(&[1, 2], SubmitOptions::new(6)); // fits: 2 pages
+        engine.submit_with(&[3, 4], SubmitOptions::new(200)); // needs 2 * ceil(202/16) = 26 pages > 4: evicted
+        engine.submit_with(&[5, 6], SubmitOptions::new(6)); // fits after the big one is evicted
         let report = engine.run();
         assert_eq!(report.finished_length, 2);
         assert_eq!(report.evicted, 1);
@@ -833,7 +1379,7 @@ mod tests {
         for threads in [1usize, 2, 3, 8] {
             let mut engine = ServingEngine::new(&model).with_threads(threads);
             for p in prompts {
-                engine.submit(p, 7);
+                engine.submit_with(p, SubmitOptions::new(7));
             }
             let report = engine.run();
             assert_eq!(report.num_threads, threads);
@@ -852,8 +1398,8 @@ mod tests {
         let sampling = Sampling::top_k(4, 0.9, 1234);
         let run = |threads: usize| {
             let mut engine = ServingEngine::new(&model).with_threads(threads);
-            engine.submit_with_sampling(&[3, 1, 4], 12, None, sampling);
-            engine.submit_with_sampling(&[2, 7], 12, None, sampling);
+            engine.submit_with(&[3, 1, 4], SubmitOptions::new(12).sampling(sampling));
+            engine.submit_with(&[2, 7], SubmitOptions::new(12).sampling(sampling));
             engine.run();
             engine.sequences().iter().map(|s| s.generated.clone()).collect::<Vec<_>>()
         };
@@ -868,7 +1414,7 @@ mod tests {
         // A different seed almost surely takes a different path within 12 tokens of
         // k=4 sampling; pin it so the seed is demonstrably load-bearing.
         let mut other = ServingEngine::new(&model);
-        other.submit_with_sampling(&[3, 1, 4], 12, None, Sampling::top_k(4, 0.9, 77));
+        other.submit_with(&[3, 1, 4], SubmitOptions::new(12).sampling(Sampling::top_k(4, 0.9, 77)));
         other.run();
         assert_ne!(a[0], other.sequences()[0].generated, "different seeds must decorrelate");
     }
@@ -877,7 +1423,7 @@ mod tests {
     fn greedy_sampling_field_defaults_preserve_old_submissions() {
         let model = model(ModelQuantConfig::BASELINE);
         let mut engine = ServingEngine::new(&model);
-        engine.submit(&[5, 9], 4);
+        engine.submit_with(&[5, 9], SubmitOptions::new(4));
         assert_eq!(engine.sequences()[0].sampling, Sampling::GREEDY);
         engine.run();
         assert_eq!(engine.sequences()[0].generated, model.generate_greedy(&[5, 9], 4));
@@ -889,7 +1435,7 @@ mod tests {
         // Sample freely once to learn the stream, then stop on its third token.
         let sampling = Sampling::top_p(0.8, 1.0, 99);
         let mut free = ServingEngine::new(&model);
-        free.submit_with_sampling(&[6, 2, 8], 10, None, sampling);
+        free.submit_with(&[6, 2, 8], SubmitOptions::new(10).sampling(sampling));
         free.run();
         let stream = free.sequences()[0].generated.clone();
         assert_eq!(stream.len(), 10);
@@ -899,7 +1445,7 @@ mod tests {
             return;
         }
         let mut engine = ServingEngine::new(&model);
-        engine.submit_with_sampling(&[6, 2, 8], 10, Some(stop), sampling);
+        engine.submit_with(&[6, 2, 8], SubmitOptions::new(10).stop_token(stop).sampling(sampling));
         engine.run();
         let seq = &engine.sequences()[0];
         assert_eq!(seq.finish_reason(), Some(FinishReason::Stop));
@@ -907,10 +1453,200 @@ mod tests {
     }
 
     #[test]
+    fn submit_options_builder_defaults_and_setters() {
+        let opts = SubmitOptions::new(9);
+        assert_eq!(opts.max_new_tokens, 9);
+        assert_eq!(opts.stop_token, None);
+        assert_eq!(opts.sampling, Sampling::GREEDY);
+        assert_eq!(opts.priority, 0);
+        assert_eq!(opts.arrival_pass, 0);
+        assert!(opts.share_prefix);
+        let opts = opts.stop_token(3).sampling(Sampling::top_p(0.5, 1.0, 7)).priority(2).arrival_pass(5);
+        assert_eq!(opts.stop_token, Some(3));
+        assert_eq!(opts.sampling, Sampling::top_p(0.5, 1.0, 7));
+        assert_eq!(opts.priority, 2);
+        assert_eq!(opts.arrival_pass, 5);
+        assert!(!opts.without_prefix_sharing().share_prefix);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_submit_wrappers_match_submit_with() {
+        let model = model(ModelQuantConfig::BASELINE);
+        let sampling = Sampling::top_k(3, 0.8, 11);
+        let mut old = ServingEngine::new(&model);
+        old.submit(&[1, 2, 3], 5);
+        old.submit_with_stop(&[4, 5], 5, Some(9));
+        old.submit_with_sampling(&[6, 7], 5, None, sampling);
+        old.run();
+        let mut new = ServingEngine::new(&model);
+        new.submit_with(&[1, 2, 3], SubmitOptions::new(5));
+        new.submit_with(&[4, 5], SubmitOptions::new(5).stop_token(9));
+        new.submit_with(&[6, 7], SubmitOptions::new(5).sampling(sampling));
+        new.run();
+        for (a, b) in old.sequences().iter().zip(new.sequences()) {
+            assert_eq!(a.generated, b.generated, "wrapper diverges from submit_with for sequence {}", a.id);
+            assert_eq!(a.finish_reason(), b.finish_reason());
+        }
+    }
+
+    #[test]
+    fn prefix_sharing_skips_prefill_and_stays_token_identical() {
+        let model = model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        // 4-position pages: a 10-token common prefix spans 2 full shared pages plus a
+        // partial boundary page (copy-on-write exercised on both donor and recipient).
+        let prefix: Vec<usize> = (0..10).map(|i| (i * 13 + 3) % 128).collect();
+        let prompts: Vec<Vec<usize>> = (0..4)
+            .map(|s| {
+                let mut p = prefix.clone();
+                p.push(90 + s); // diverge after the common prefix
+                p
+            })
+            .collect();
+        let run = |share: bool| {
+            let mut engine = ServingEngine::paged_with(&model, 64, 4).with_threads(1);
+            for p in &prompts {
+                let opts = SubmitOptions::new(8);
+                engine.submit_with(p, if share { opts } else { opts.without_prefix_sharing() });
+            }
+            let report = engine.run();
+            let pool = engine.pool().unwrap();
+            assert_eq!(pool.in_use_pages(), 0, "pages leaked (share={share})");
+            assert_eq!(pool.reserved_pages(), 0, "reservations leaked (share={share})");
+            let streams: Vec<Vec<usize>> = engine.sequences().iter().map(|s| s.generated.clone()).collect();
+            let shared_positions: Vec<usize> = engine.sequences().iter().map(Sequence::shared_positions).collect();
+            (report, streams, shared_positions)
+        };
+        let (shared_report, shared_streams, shared_positions) = run(true);
+        let (plain_report, plain_streams, plain_positions) = run(false);
+        // The tentpole invariant: sharing changes memory and prefill work, not tokens.
+        assert_eq!(shared_streams, plain_streams, "prefix sharing must be token-identical");
+        for (stream, p) in shared_streams.iter().zip(&prompts) {
+            assert_eq!(stream, &model.generate_greedy(p, 8), "shared stream diverges from solo generation");
+        }
+        // Sequences 1..4 each mapped the 10-position prefix from sequence 0's pages.
+        assert_eq!(shared_positions, vec![0, 10, 10, 10]);
+        assert_eq!(plain_positions, vec![0; 4]);
+        // 3 recipients x 2 layers x 3 pages (2 full + 1 boundary) mapped, 30 positions saved.
+        assert_eq!(shared_report.shared_pages, 3 * 2 * 3);
+        assert_eq!(shared_report.prefill_tokens_saved, 30);
+        assert_eq!(plain_report.shared_pages, 0);
+        assert_eq!(plain_report.prefill_tokens_saved, 0);
+        assert!(
+            shared_report.resident_bytes < plain_report.resident_bytes,
+            "sharing must shrink peak residency: {} vs {}",
+            shared_report.resident_bytes,
+            plain_report.resident_bytes
+        );
+    }
+
+    #[test]
+    fn identical_prompts_still_rerun_the_last_position() {
+        // A fully identical prompt can share everything except the last position, whose
+        // logits seed the first sampled token.
+        let model = model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        let prompt: Vec<usize> = (0..12).map(|i| (i * 7 + 1) % 128).collect();
+        let mut engine = ServingEngine::paged_with(&model, 64, 4).with_threads(1);
+        for _ in 0..2 {
+            engine.submit_with(&prompt, SubmitOptions::new(6));
+        }
+        engine.run();
+        assert_eq!(engine.sequences()[1].shared_positions(), 11);
+        let solo = model.generate_greedy(&prompt, 6);
+        for seq in engine.sequences() {
+            assert_eq!(seq.generated, solo, "sequence {}", seq.id);
+        }
+    }
+
+    #[test]
+    fn high_priority_arrival_preempts_and_victim_resumes_bit_identically() {
+        let model = model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        // 4-page pool (16-position pages). The low-priority victim needs 2 pages and is
+        // admitted alone; at pass 3 the high-priority arrival needs all 4 pages, so the
+        // scheduler must spill the victim rather than stall behind it.
+        let mut engine = ServingEngine::paged(&model, 4).with_threads(1);
+        let victim = engine.submit_with(&[5, 6], SubmitOptions::new(12));
+        let urgent = engine.submit_with(&[8, 9], SubmitOptions::new(28).priority(1).arrival_pass(3));
+        let report = engine.run();
+        assert_eq!(report.preemptions, 1, "the low-priority sequence must be swapped out");
+        assert_eq!(report.evicted, 0, "preemption is not eviction");
+        assert_eq!(report.finished_length, 2);
+        // Both sequences finish with their solo-greedy streams: the victim's restored
+        // pages are bit-identical to the spilled ones.
+        assert_eq!(engine.sequences()[victim].generated, model.generate_greedy(&[5, 6], 12));
+        assert_eq!(engine.sequences()[urgent].generated, model.generate_greedy(&[8, 9], 28));
+        let pool = engine.pool().unwrap();
+        assert_eq!(pool.in_use_pages(), 0);
+        assert_eq!(pool.reserved_pages(), 0);
+    }
+
+    #[test]
+    fn planned_share_donor_is_never_preempted_for_its_own_recipient() {
+        // Regression: a high-priority arrival planning to share a *lower-priority*
+        // donor's prefix must not pick that donor as a preemption victim — spilling it
+        // would destroy the pages about to be shared (and used to panic the
+        // coordinator). 8-page pool: the donor (32-token prompt, 3 pages/layer) leaves
+        // 2 pages free; the sharer needs 4 beyond the shared prefix, so pressure is
+        // real and the donor is the only lower-priority sequence.
+        let model = model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        let common: Vec<usize> = (0..32).map(|i| (i * 11 + 2) % 128).collect();
+        let mut sharer_prompt = common.clone();
+        sharer_prompt.push(99);
+        let mut engine = ServingEngine::paged(&model, 8).with_threads(1);
+        engine.submit_with(&common, SubmitOptions::new(7));
+        engine.submit_with(&sharer_prompt, SubmitOptions::new(25).priority(1).arrival_pass(2));
+        let report = engine.run();
+        assert_eq!(report.preemptions, 0, "the only candidate victim is the planned donor: protected");
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.finished_length, 2);
+        assert_eq!(engine.sequences()[0].generated, model.generate_greedy(&common, 7));
+        assert_eq!(engine.sequences()[1].generated, model.generate_greedy(&sharer_prompt, 25));
+        let pool = engine.pool().unwrap();
+        assert_eq!(pool.in_use_pages(), 0);
+        assert_eq!(pool.reserved_pages(), 0);
+    }
+
+    #[test]
+    fn preemption_spills_no_one_when_victims_cannot_fund_the_admission() {
+        // 8-page pool: a small priority-0 victim (2 pages) plus a priority-1 holder
+        // (4 pages). The priority-1 arrival needs 6 pages, but spilling the only
+        // eligible victim guarantees just 2 + 2 = 4 — the precheck must leave the
+        // victim running (no wasted spill/restore) and the arrival waits its turn.
+        let model = model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        let mut engine = ServingEngine::paged(&model, 8).with_threads(1);
+        engine.submit_with(&[5, 6], SubmitOptions::new(12)); // priority 0: 2 pages
+        engine.submit_with(&[7, 8], SubmitOptions::new(25).priority(1)); // 4 pages
+        engine.submit_with(&[9, 9], SubmitOptions::new(40).priority(1).arrival_pass(3)); // needs 6
+        let report = engine.run();
+        assert_eq!(report.preemptions, 0, "spilling the victim could never fund the admission");
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.finished_length, 3);
+        for (seq, (prompt, budget)) in
+            engine.sequences().iter().zip([(vec![5, 6], 12), (vec![7, 8], 25), (vec![9, 9], 40)])
+        {
+            assert_eq!(seq.generated, model.generate_greedy(&prompt, budget), "sequence {}", seq.id);
+        }
+    }
+
+    #[test]
+    fn equal_priorities_never_preempt() {
+        let model = model(ModelQuantConfig::uniform(QuantScheme::mxfp4()));
+        let mut engine = ServingEngine::paged(&model, 4).with_threads(1);
+        engine.submit_with(&[5, 6], SubmitOptions::new(12));
+        // Same priority: the late arrival waits for pages like plain continuous batching.
+        engine.submit_with(&[8, 9], SubmitOptions::new(28).arrival_pass(3));
+        let report = engine.run();
+        assert_eq!(report.preemptions, 0);
+        assert_eq!(report.finished_length, 2);
+        assert_eq!(engine.sequences()[0].generated, model.generate_greedy(&[5, 6], 12));
+        assert_eq!(engine.sequences()[1].generated, model.generate_greedy(&[8, 9], 28));
+    }
+
+    #[test]
     #[should_panic(expected = "prompt must be non-empty")]
     fn submit_rejects_empty_prompts() {
         let model = model(ModelQuantConfig::BASELINE);
-        ServingEngine::new(&model).submit(&[], 4);
+        ServingEngine::new(&model).submit_with(&[], SubmitOptions::new(4));
     }
 
     #[test]

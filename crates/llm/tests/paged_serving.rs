@@ -9,7 +9,7 @@
 //!   every sequence in the final report, and returns every page to the pool.
 
 use mx_formats::QuantScheme;
-use mx_llm::{FinishReason, ModelConfig, ModelQuantConfig, ServingEngine, TransformerModel};
+use mx_llm::{FinishReason, ModelConfig, ModelQuantConfig, ServingEngine, SubmitOptions, TransformerModel};
 
 fn model() -> TransformerModel {
     // The paper's headline serving configuration: A-MXFP4+, W-MXFP4 (the KV cache is a
@@ -26,8 +26,8 @@ fn paged_256_token_batched_decode_is_token_identical_and_4x_smaller() {
     let mut flat = ServingEngine::new(&model);
     let mut paged = ServingEngine::paged(&model, 64);
     for p in prompts {
-        flat.submit(p, 64);
-        paged.submit(p, 64);
+        flat.submit_with(p, SubmitOptions::new(64));
+        paged.submit_with(p, SubmitOptions::new(64));
     }
     let flat_report = flat.run();
     let paged_report = paged.run();
@@ -75,9 +75,9 @@ fn oversubscribed_continuous_batching_accounts_for_every_sequence() {
             // Give one sequence a stop token it will actually produce, taken from its own
             // free-running generation, to mix finish reasons into the same run.
             stop = Some(model.generate_greedy(&prompt, 13)[6]);
-            engine.submit_with_stop(&prompt, 13, stop);
+            engine.submit_with(&prompt, SubmitOptions::new(13).stop_token(stop));
         } else {
-            engine.submit(&prompt, 13);
+            engine.submit_with(&prompt, SubmitOptions::new(13));
         }
     }
     let report = engine.run();

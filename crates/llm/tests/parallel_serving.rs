@@ -11,7 +11,7 @@
 
 use mx_llm::{
     DecodePath, FinishReason, KvCache, LayerKvCache, ModelConfig, ModelQuantConfig, PagePool, PagedKvCache,
-    PagedScratch, Sampling, Sequence, ServingEngine, ServingReport, TransformerModel,
+    PagedScratch, Sampling, Sequence, ServingEngine, ServingReport, SpilledKv, SubmitOptions, TransformerModel,
 };
 
 fn model() -> TransformerModel {
@@ -33,6 +33,8 @@ fn serving_stack_is_send_and_sync() {
     assert_send_sync::<ServingEngine<'_>>();
     assert_send_sync::<ServingReport>();
     assert_send_sync::<Sampling>();
+    assert_send_sync::<SubmitOptions>();
+    assert_send_sync::<SpilledKv>();
 }
 
 /// 4 sequences × 64 tokens = 256 decoded tokens on the f32 backend: 4-thread output must
@@ -44,7 +46,7 @@ fn f32_parallel_decode_is_token_identical_at_256_tokens() {
     let run = |threads: usize| {
         let mut engine = ServingEngine::new(&model).with_threads(threads);
         for p in prompts {
-            engine.submit(p, 64);
+            engine.submit_with(p, SubmitOptions::new(64));
         }
         let report = engine.run();
         assert_eq!(report.generated_tokens, 256);
@@ -69,7 +71,7 @@ fn paged_parallel_decode_is_token_identical_at_256_tokens() {
     let run = |threads: usize| {
         let mut engine = ServingEngine::paged(&model, 64).with_threads(threads);
         for p in prompts {
-            engine.submit(p, 64);
+            engine.submit_with(p, SubmitOptions::new(64));
         }
         let report = engine.run();
         assert_eq!(report.backend, "paged-packed");
@@ -96,8 +98,8 @@ fn seed_clone_path_runs_on_the_worker_pool() {
     let mut parallel = ServingEngine::with_path(&model, DecodePath::SeedClone).with_threads(4);
     let mut sequential = ServingEngine::with_path(&model, DecodePath::SeedClone).with_threads(1);
     for engine in [&mut parallel, &mut sequential] {
-        engine.submit(&[4, 4, 2], 16);
-        engine.submit(&[11, 3], 16);
+        engine.submit_with(&[4, 4, 2], SubmitOptions::new(16));
+        engine.submit_with(&[11, 3], SubmitOptions::new(16));
     }
     parallel.run();
     sequential.run();
@@ -123,14 +125,14 @@ fn oversubscribed_stress_workload_is_identical_at_1_and_4_threads() {
             let prompt = [s + 1, s + 2, s + 3];
             match s % 3 {
                 // Greedy with a stop token drawn from the matching free-running stream.
-                0 if s == 6 => engine.submit_with_stop(&[6, 7, 8], 13, Some(stop)),
+                0 if s == 6 => engine.submit_with(&[6, 7, 8], SubmitOptions::new(13).stop_token(stop)),
                 // Seeded top-k: sampled sequences must be just as reproducible.
-                1 => engine.submit_with_sampling(&prompt, 11, None, Sampling::top_k(4, 0.9, 2024)),
+                1 => engine.submit_with(&prompt, SubmitOptions::new(11).sampling(Sampling::top_k(4, 0.9, 2024))),
                 // Plain greedy.
-                _ => engine.submit(&prompt, 13),
+                _ => engine.submit_with(&prompt, SubmitOptions::new(13)),
             };
         }
-        engine.submit(&[1, 2, 3], 200); // the unadmittable giant
+        engine.submit_with(&[1, 2, 3], SubmitOptions::new(200)); // the unadmittable giant
         let report = engine.run();
         let pool = engine.pool().unwrap();
         assert_eq!(pool.in_use_pages(), 0, "pages leaked at {threads} threads");

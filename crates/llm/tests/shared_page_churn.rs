@@ -1,0 +1,190 @@
+//! Property-based pool-churn invariants for the refcounted shared-page subsystem
+//! (ISSUE-5 satellite): random interleavings of admit / share-admit / append /
+//! spill+restore / retire against one small pool must never leak a page, double-free
+//! one, or let a shared page die while a reader still holds it.
+//!
+//! The test tracks, per live cache, the exact row *salts* it must contain (shared
+//! prefixes inherit the donor's salts) and re-reads a probe row after every operation:
+//! any aliasing bug — two caches owning one page exclusively, a copy-on-write leaking
+//! into another holder, a freed-then-reused shared page — shows up as a value mismatch,
+//! and any accounting bug as a free/in-use imbalance or a failure to drain.
+
+use std::sync::Arc;
+
+use mx_formats::{QuantScheme, RowCodec};
+use mx_llm::kvcache::{KvBackend, KvLayerReader};
+use mx_llm::{PagePool, PagedKvCache, PagedScratch};
+use proptest::prelude::*;
+
+const KV_DIM: usize = 64;
+const PAGE_POSITIONS: usize = 4;
+const POOL_PAGES: usize = 24;
+const SLOTS: usize = 5;
+
+fn scheme() -> QuantScheme {
+    QuantScheme::mxfp4()
+}
+
+/// Deterministic row with outliers, keyed by a salt (same generator as the unit tests).
+fn sample_row(salt: usize) -> Vec<f32> {
+    (0..KV_DIM)
+        .map(|i| {
+            let u = (((i + salt) * 2_654_435_761) % 2001) as f32 / 1000.0 - 1.0;
+            if (i + salt) % 37 == 5 {
+                u * 30.0
+            } else {
+                u
+            }
+        })
+        .collect()
+}
+
+/// One live cache plus the ground truth of what it must contain.
+struct Slot {
+    cache: PagedKvCache,
+    /// Row salt appended at each position (keys; values use `salt + 1000`).
+    salts: Vec<usize>,
+    /// Fixed append capacity reserved at admission.
+    capacity: usize,
+}
+
+fn read_key(cache: &mut PagedKvCache, t: usize) -> Vec<f32> {
+    let mut scratch = PagedScratch::default();
+    let mut reader = cache.layer_reader(0, &mut scratch);
+    reader.key_row(t).to_vec()
+}
+
+fn check_slot(slot: &mut Slot, probe: usize) {
+    if slot.salts.is_empty() {
+        return;
+    }
+    let t = probe % slot.salts.len();
+    let expected = scheme().quantize_dequantize(&sample_row(slot.salts[t]));
+    let got = read_key(&mut slot.cache, t);
+    assert_eq!(got, expected, "position {t} corrupted (salt {})", slot.salts[t]);
+}
+
+fn append_rows(slot: &mut Slot, count: usize, salt_base: usize) {
+    for k in 0..count {
+        if slot.salts.len() >= slot.capacity {
+            break;
+        }
+        let salt = salt_base + k;
+        slot.cache.append(0, &sample_row(salt), &sample_row(salt + 1000));
+        slot.salts.push(salt);
+    }
+}
+
+fn pool_invariants(pool: &Arc<PagePool>, live: &[Option<Slot>], step: usize) {
+    assert!(pool.free_pages() + pool.in_use_pages() == pool.total_pages(), "step {step}: page count imbalance");
+    // With sharing, the sum of per-cache table entries can exceed the distinct in-use
+    // count (refcounted aliasing) but never the converse; and with no cache alive at
+    // all, nothing may remain checked out.
+    let referenced: usize = live.iter().flatten().map(|s| s.cache.allocated_pages()).sum();
+    assert!(
+        pool.in_use_pages() <= referenced,
+        "step {step}: pages in use that no live cache references (leak): {} in use, {referenced} referenced",
+        pool.in_use_pages()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random admit/share/append/spill/retire churn: exact data integrity and exact
+    /// accounting at every step, full drain at the end.
+    #[test]
+    fn churn_with_sharing_never_leaks_double_frees_or_corrupts(ops in prop::collection::vec(0u32..1_000_000u32, 1..120)) {
+        let pool = PagePool::for_kv_rows(POOL_PAGES, PAGE_POSITIONS, RowCodec::for_scheme(scheme()), KV_DIM).shared();
+        let mut live: Vec<Option<Slot>> = (0..SLOTS).map(|_| None).collect();
+        for (step, &word) in ops.iter().enumerate() {
+            let op = word % 5;
+            let a = (word as usize / 5) % SLOTS;
+            let b = (word as usize / 25) % SLOTS;
+            let amount = (word as usize / 125) % 11;
+            match op {
+                // Plain admission into an empty slot.
+                0 => {
+                    if live[a].is_none() {
+                        let capacity = 1 + amount;
+                        if let Ok(cache) = PagedKvCache::new(&pool, 1, KV_DIM, scheme(), capacity) {
+                            let mut slot = Slot { cache, salts: Vec::new(), capacity };
+                            append_rows(&mut slot, 1 + amount / 2, step * 31);
+                            live[a] = Some(slot);
+                        }
+                    }
+                }
+                // Share-admission: map a prefix of donor `b` into empty slot `a`.
+                1 => {
+                    if a != b && live[a].is_none() {
+                        let prefix = match &mut live[b] {
+                            Some(donor) if donor.cache.seq_len() > 0 => {
+                                let want = 1 + amount % donor.cache.seq_len().max(1);
+                                Some(donor.cache.share_prefix(want.min(donor.cache.seq_len())))
+                            }
+                            _ => None,
+                        };
+                        if let Some(prefix) = prefix {
+                            if prefix.positions() > 0 {
+                                let capacity = prefix.positions() + 1 + amount;
+                                let shared = prefix.positions();
+                                if let Ok(cache) =
+                                    PagedKvCache::with_shared_prefix(&pool, 1, KV_DIM, scheme(), capacity, prefix)
+                                {
+                                    let donor_salts = live[b].as_ref().unwrap().salts[..shared].to_vec();
+                                    let mut slot = Slot { cache, salts: donor_salts, capacity };
+                                    // Diverge immediately: the first append lands in the
+                                    // shared boundary page when the prefix is non-aligned,
+                                    // exercising copy-on-write under churn.
+                                    append_rows(&mut slot, 1 + amount / 3, step * 31 + 500_000);
+                                    live[a] = Some(slot);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Append into a live slot (the donor side of any sharing COWs here).
+                2 => {
+                    if let Some(slot) = &mut live[a] {
+                        append_rows(slot, 1 + amount / 2, step * 31 + 250_000);
+                    }
+                }
+                // Retire.
+                3 => {
+                    live[a] = None;
+                }
+                // Preemption round trip: spill, verify the pool shed the exclusive
+                // pages, restore, verify bit-identity via the salts.
+                4 => {
+                    if let Some(mut slot) = live[a].take() {
+                        let spilled = slot.cache.spill();
+                        prop_assert_eq!(spilled.positions(), slot.salts.len());
+                        match PagedKvCache::restore(&pool, 1, KV_DIM, scheme(), slot.capacity, &spilled) {
+                            Ok(cache) => {
+                                slot.cache = cache;
+                                live[a] = Some(slot);
+                            }
+                            Err(_) => {
+                                // Pool too full to restore right now: the sequence stays
+                                // preempted (dropped here); nothing may leak.
+                            }
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+            pool_invariants(&pool, &live, step);
+            // Probe every live cache: shared pages must still decode their exact rows
+            // even after donors retired, spilled, or copy-on-wrote.
+            for slot in live.iter_mut().flatten() {
+                check_slot(slot, step);
+            }
+        }
+        // Drain: dropping every cache must return every page and reservation.
+        live.clear();
+        prop_assert_eq!(pool.free_pages(), pool.total_pages());
+        prop_assert_eq!(pool.in_use_pages(), 0);
+        prop_assert_eq!(pool.reserved_pages(), 0);
+        prop_assert_eq!(pool.resident_bytes(), 0);
+    }
+}

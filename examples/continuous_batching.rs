@@ -3,14 +3,17 @@
 //! Submits more sequences than the page budget can hold at once (mixed generation
 //! budgets, some with stop tokens), so the scheduler must admit late sequences as
 //! earlier ones finish and return their pages. The same workload is then run on the
-//! f32-contiguous baseline backend to show the measured-residency gap, and finally
-//! re-run across 1/2/4 decode worker threads to show that the thread count changes the
-//! wall clock but never a single token.
+//! f32-contiguous baseline backend to show the measured-residency gap, then re-run
+//! across 1/2/4 decode worker threads to show that the thread count changes the wall
+//! clock but never a single token. Two more scenarios demonstrate the refcounted
+//! shared-page features: a shared-system-prompt batch (prefix sharing + copy-on-write,
+//! resident bytes near one prompt copy instead of N) and a high-priority arrival that
+//! preempts a low-priority sequence (spill → restore, bit-identical resume).
 //!
 //! Run with: `cargo run --release --example continuous_batching` (add `--smoke` for the
 //! CI-sized workload).
 
-use mxplus::llm::{FinishReason, ModelConfig, ModelQuantConfig, ServingEngine, TransformerModel};
+use mxplus::llm::{FinishReason, ModelConfig, ModelQuantConfig, ServingEngine, SubmitOptions, TransformerModel};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -39,9 +42,9 @@ fn main() {
         .collect();
     let submit_workload = |engine: &mut ServingEngine<'_>| {
         for (prompt, max_new, stop) in &submissions {
-            engine.submit_with_stop(prompt, *max_new, *stop);
+            engine.submit_with(prompt, SubmitOptions::new(*max_new).stop_token(*stop));
         }
-        engine.submit(&[1, 2, 3], 100_000); // can never fit: evicted, not deadlocked
+        engine.submit_with(&[1, 2, 3], SubmitOptions::new(100_000)); // can never fit: evicted, not deadlocked
     };
 
     let mut engine = ServingEngine::paged(&model, pages);
@@ -103,7 +106,7 @@ fn main() {
     // Same workload on the f32-contiguous baseline: identical tokens, 32-bit residency.
     let mut baseline = ServingEngine::new(&model);
     for seq in engine.sequences().iter().filter(|s| s.finish_reason() != Some(FinishReason::Evicted)) {
-        baseline.submit_with_stop(&seq.prompt, seq.max_new_tokens, seq.stop_token);
+        baseline.submit_with(&seq.prompt, SubmitOptions::new(seq.max_new_tokens).stop_token(seq.stop_token));
     }
     let base_report = baseline.run();
     // Pair by the same non-evicted filter used at submission so the zip stays aligned
@@ -136,4 +139,65 @@ fn main() {
             threads, r.wall_seconds, r.tokens_per_sec_parallel, r.decode_tokens_per_sec
         );
     }
+
+    // Prefix sharing: N requests with one system prompt. The shared run maps the prompt
+    // pages behind refcounts (one resident copy + copy-on-write boundaries); the
+    // unshared run pays N full copies and N prefills. Tokens must not change.
+    let shared_seqs = if smoke { 4 } else { 8 };
+    let common = if smoke { 19 } else { 67 };
+    let system_prompt: Vec<usize> = (0..common).map(|i| (i * 19 + 5) % cfg.vocab).collect();
+    let shared_prompts: Vec<Vec<usize>> = (0..shared_seqs)
+        .map(|s| {
+            let mut p = system_prompt.clone();
+            p.push((100 + s * 3) % cfg.vocab);
+            p
+        })
+        .collect();
+    let share_run = |share: bool| {
+        // Size the pool for the *unshared* worst case so both arms admit everything.
+        let share_pages = shared_seqs * cfg.layers * (common + 1 + budget / 4).div_ceil(16);
+        let mut engine = ServingEngine::paged(&model, share_pages);
+        for p in &shared_prompts {
+            let opts = SubmitOptions::new(budget / 4);
+            engine.submit_with(p, if share { opts } else { opts.without_prefix_sharing() });
+        }
+        let report = engine.run();
+        let streams: Vec<Vec<usize>> = engine.sequences().iter().map(|s| s.generated.clone()).collect();
+        (report, streams)
+    };
+    let (shared_report, shared_streams) = share_run(true);
+    let (unshared_report, unshared_streams) = share_run(false);
+    assert_eq!(shared_streams, unshared_streams, "prefix sharing must be token-identical");
+    assert!(shared_report.shared_pages > 0, "the shared-prompt batch must actually share pages");
+    println!(
+        "\nPrefix sharing ({} seqs, {}-token system prompt): {} shared page mappings, {} prefill tokens saved",
+        shared_seqs, common, shared_report.shared_pages, shared_report.prefill_tokens_saved
+    );
+    println!(
+        "peak resident {} B shared vs {} B unshared ({:.2}x smaller), tokens identical by assertion",
+        shared_report.resident_bytes,
+        unshared_report.resident_bytes,
+        unshared_report.resident_bytes as f64 / shared_report.resident_bytes as f64
+    );
+
+    // Preemption: low-priority work owns the pool when a high-priority request arrives
+    // (deterministically, at scheduler pass 4). The scheduler spills a victim to host
+    // memory, serves the urgent request, restores the victim bit-identically. The pool
+    // is sized to fit exactly the urgent request alone (4-position pages), so admission
+    // without preemption would have to stall behind the low-priority sequence instead.
+    let low_prompt = vec![5usize, 6, 7];
+    let urgent_prompt = vec![9usize, 8];
+    let urgent_pages_per_layer = (urgent_prompt.len() + budget).div_ceil(4);
+    let mut engine = ServingEngine::paged_with(&model, urgent_pages_per_layer * cfg.layers, 4);
+    engine.submit_with(&low_prompt, SubmitOptions::new(budget / 2));
+    engine.submit_with(&urgent_prompt, SubmitOptions::new(budget).priority(1).arrival_pass(4));
+    let preempt_report = engine.run();
+    assert!(preempt_report.preemptions >= 1, "the urgent arrival must preempt, not stall");
+    assert_eq!(preempt_report.evicted, 0, "preemption is not eviction");
+    assert_eq!(engine.sequences()[0].generated, model.generate_greedy(&low_prompt, budget / 2));
+    assert_eq!(engine.sequences()[1].generated, model.generate_greedy(&urgent_prompt, budget));
+    println!(
+        "\nPreemption: {} swap(s); the preempted sequence resumed bit-identically (asserted vs solo decode)",
+        preempt_report.preemptions
+    );
 }

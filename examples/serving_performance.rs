@@ -13,7 +13,7 @@ use mxplus::gpu::gemm::GemmConfig;
 use mxplus::gpu::inference::{InferenceModel, InferenceWorkload, PerfModelConfig};
 use mxplus::gpu::GpuSpec;
 use mxplus::llm::model::DecodePath;
-use mxplus::llm::{ModelConfig, ModelQuantConfig, ServingEngine, TransformerModel};
+use mxplus::llm::{ModelConfig, ModelQuantConfig, ServingEngine, SubmitOptions, TransformerModel};
 
 fn measured_serving() {
     let cfg = ModelConfig::llama2_7b();
@@ -35,7 +35,7 @@ fn measured_serving() {
         let mut engine = ServingEngine::new(&model);
         for s in 0..4usize {
             let prompt: Vec<usize> = (0..16).map(|i| (s * 31 + i * 7) % cfg.vocab).collect();
-            engine.submit(&prompt, 48);
+            engine.submit_with(&prompt, SubmitOptions::new(48));
         }
         let report = engine.run();
         println!(
@@ -54,7 +54,7 @@ fn measured_serving() {
     let mut fast = ServingEngine::new(&model);
     let mut seed = ServingEngine::with_path(&model, DecodePath::SeedClone);
     for engine in [&mut fast, &mut seed] {
-        engine.submit(&[1, 2, 3, 4, 5, 6, 7, 8], 16);
+        engine.submit_with(&[1, 2, 3, 4, 5, 6, 7, 8], SubmitOptions::new(16));
     }
     let fast_report = fast.run();
     let seed_report = seed.run();
