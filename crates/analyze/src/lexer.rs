@@ -1,0 +1,369 @@
+//! A minimal Rust lexer for the workspace lints.
+//!
+//! The lints only need identifiers and punctuation with accurate positions, so the
+//! lexer's job is mostly *subtractive*: skip line comments, nested block comments,
+//! string literals (plain, raw `r#"..."#`, byte, byte-raw), char literals, and
+//! lifetimes, so that a `pack_row_into` inside a doc comment or a `"panic!"` inside a
+//! format string can never trip a rule. Along the way it collects
+//! `// mx-analyze: allow(<rule>)` suppression comments keyed by line.
+
+use std::collections::HashMap;
+
+/// Kind of a lexed token. Literals and lifetimes are kept (with positions) but carry
+/// no text: no lint ever matches on their contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`{`, `.`, `(`, ...).
+    Punct(char),
+    /// String / char / numeric literal.
+    Literal,
+    /// Lifetime such as `'a` or `'_`.
+    Lifetime,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is exactly the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// `// mx-analyze: allow(<rule>[, <rule>...])` comments collected during lexing.
+///
+/// A suppression covers findings on its own line (trailing comment) and on the line
+/// directly below it (standalone comment above the code).
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    by_line: HashMap<usize, Vec<String>>,
+}
+
+impl Suppressions {
+    /// Does a suppression on `line` or the line above it allow `rule`?
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        let lines = [line, line.saturating_sub(1)];
+        lines.iter().any(|l| self.by_line.get(l).is_some_and(|rules| rules.iter().any(|r| r == rule)))
+    }
+}
+
+/// The result of lexing one file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// All meaningful tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Suppression comments found in the file.
+    pub suppressions: Suppressions,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Parse the rule list out of one `mx-analyze: allow(a, b)` line comment, if present.
+fn record_suppressions(comment: &str, line: usize, by_line: &mut HashMap<usize, Vec<String>>) {
+    let Some(at) = comment.find("mx-analyze:") else { return };
+    let rest = &comment[at + "mx-analyze:".len()..];
+    let Some(open) = rest.find("allow(") else { return };
+    let args = &rest[open + "allow(".len()..];
+    let Some(close) = args.find(')') else { return };
+    let rules: Vec<String> = args[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if !rules.is_empty() {
+        by_line.entry(line).or_default().extend(rules);
+    }
+}
+
+/// Lex `source` into tokens + suppressions. Never fails: unterminated constructs
+/// simply consume the rest of the file.
+pub fn lex(source: &str) -> LexedFile {
+    let mut cur = Cursor { chars: source.chars().collect(), i: 0, line: 1, col: 1 };
+    let mut tokens = Vec::new();
+    let mut by_line: HashMap<usize, Vec<String>> = HashMap::new();
+
+    while !cur.done() {
+        let (line, col) = (cur.line, cur.col);
+        let Some(c) = cur.peek(0) else { break };
+
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Line comment (also covers doc comments `///` and `//!`).
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            record_suppressions(&text, line, &mut by_line);
+            continue;
+        }
+
+        // Block comment, with nesting.
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 && !cur.done() {
+                if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                    cur.bump();
+                    cur.bump();
+                    depth += 1;
+                } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                    cur.bump();
+                    cur.bump();
+                    depth -= 1;
+                } else {
+                    cur.bump();
+                }
+            }
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            cur.bump();
+            consume_string_body(&mut cur);
+            tokens.push(Token { kind: TokenKind::Literal, line, col });
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            cur.bump();
+            lex_quote(&mut cur, &mut tokens, line, col);
+            continue;
+        }
+
+        // Numeric literal: good enough to skip suffixes, hex digits, exponents and a
+        // fractional part, without eating range operators (`0..n`).
+        if c.is_ascii_digit() {
+            cur.bump();
+            loop {
+                match cur.peek(0) {
+                    Some(ch) if is_ident_continue(ch) => {
+                        let exponent = ch == 'e' || ch == 'E';
+                        cur.bump();
+                        if exponent && matches!(cur.peek(0), Some('+') | Some('-')) {
+                            cur.bump();
+                        }
+                    }
+                    Some('.') if cur.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                        cur.bump();
+                    }
+                    _ => break,
+                }
+            }
+            tokens.push(Token { kind: TokenKind::Literal, line, col });
+            continue;
+        }
+
+        // Identifier / keyword, possibly prefixing a raw or byte string.
+        if is_ident_start(c) {
+            let mut name = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                name.push(ch);
+                cur.bump();
+            }
+            if lex_string_prefix(&mut cur, &name) {
+                tokens.push(Token { kind: TokenKind::Literal, line, col });
+            } else {
+                tokens.push(Token { kind: TokenKind::Ident(name), line, col });
+            }
+            continue;
+        }
+
+        cur.bump();
+        tokens.push(Token { kind: TokenKind::Punct(c), line, col });
+    }
+
+    LexedFile { tokens, suppressions: Suppressions { by_line } }
+}
+
+/// Consume a string body after the opening `"`, honoring escapes.
+fn consume_string_body(cur: &mut Cursor) {
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// After a `'`, decide between a char literal and a lifetime.
+fn lex_quote(cur: &mut Cursor, tokens: &mut Vec<Token>, line: usize, col: usize) {
+    match cur.peek(0) {
+        // Escaped char literal: `'\n'`, `'\\'`, `'\u{1F600}'`.
+        Some('\\') => {
+            cur.bump();
+            if cur.peek(0) == Some('u') {
+                cur.bump();
+                if cur.peek(0) == Some('{') {
+                    while let Some(ch) = cur.bump() {
+                        if ch == '}' {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                cur.bump();
+            }
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            tokens.push(Token { kind: TokenKind::Literal, line, col });
+        }
+        // `'a'` is a char literal; `'a` / `'static` / `'_` are lifetimes.
+        Some(ch) if is_ident_start(ch) => {
+            let mut len = 0usize;
+            while cur.peek(len).is_some_and(is_ident_continue) {
+                len += 1;
+            }
+            if len == 1 && cur.peek(1) == Some('\'') {
+                cur.bump();
+                cur.bump();
+                tokens.push(Token { kind: TokenKind::Literal, line, col });
+            } else {
+                for _ in 0..len {
+                    cur.bump();
+                }
+                tokens.push(Token { kind: TokenKind::Lifetime, line, col });
+            }
+        }
+        // Punctuation char literal like `'('`.
+        Some(_) => {
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            tokens.push(Token { kind: TokenKind::Literal, line, col });
+        }
+        None => tokens.push(Token { kind: TokenKind::Literal, line, col }),
+    }
+}
+
+/// If `name` is a string prefix (`r`, `b`, `br`) followed by a string opener, consume
+/// the string and return true. Raw identifiers (`r#type`) are consumed as identifiers.
+fn lex_string_prefix(cur: &mut Cursor, name: &str) -> bool {
+    let raw = matches!(name, "r" | "br" | "rb");
+    let stringy = raw || name == "b";
+    if !stringy {
+        return false;
+    }
+    if name == "b" && cur.peek(0) == Some('\'') {
+        // Byte char literal `b'x'`.
+        cur.bump();
+        if cur.peek(0) == Some('\\') {
+            cur.bump();
+            cur.bump();
+        } else {
+            cur.bump();
+        }
+        if cur.peek(0) == Some('\'') {
+            cur.bump();
+        }
+        return true;
+    }
+    if !raw && cur.peek(0) == Some('"') {
+        cur.bump();
+        consume_string_body(cur);
+        return true;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if cur.peek(hashes) == Some('"') {
+            for _ in 0..=hashes {
+                cur.bump();
+            }
+            consume_raw_string_body(cur, hashes);
+            return true;
+        }
+        if name == "r" && hashes == 1 && cur.peek(1).is_some_and(is_ident_start) {
+            // Raw identifier `r#type`: eat the `#`; the identifier lexes next round.
+            cur.bump();
+            return false;
+        }
+    }
+    false
+}
+
+/// Consume a raw string body until `"` followed by `hashes` `#`s.
+fn consume_raw_string_body(cur: &mut Cursor, hashes: usize) {
+    while let Some(ch) = cur.bump() {
+        if ch == '"' {
+            let mut matched = 0usize;
+            while matched < hashes && cur.peek(0) == Some('#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `mx-analyze`: workspace-specific static analysis for the MX+ serving stack.
+//!
+//! Clippy and rustc enforce language-level discipline; this crate enforces the
+//! *repo-level* contracts that keep the paged concurrency substrate sound:
+//!
+//! | rule id            | contract                                                            |
+//! |--------------------|---------------------------------------------------------------------|
+//! | `lock-across-call` | `PagePool::state()`/`lock()` guards never span pack/unpack/forward/decode hot calls |
+//! | `no-panics`        | no `unwrap`/`expect`/`panic!`/`todo!` in library code               |
+//! | `atomic-ordering`  | no `Ordering::Relaxed` on refcount `fetch_sub`/`compare_exchange`   |
+//! | `deprecated-submit`| no internal call sites of the deprecated `submit*` wrappers         |
+//! | `send-sync-audit`  | every `pub` type in `paging.rs`/`serving.rs` is `assert_send_sync`-covered |
+//!
+//! Findings print as `file:line:col: rule-id: message` and can be silenced in place
+//! with `// mx-analyze: allow(<rule-id>)` on the offending line or the line above.
+//! The tool is dependency-free by design (hand-rolled lexer + brace-scope tracker):
+//! the build container is offline, and the gate must never cost a network fetch.
+
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod lints;
+pub mod walk;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use lints::{check_sources, Finding, Rule};
+pub use walk::workspace_files;
+
+/// Lint every first-party `.rs` file under `root`. Returns the sorted findings and
+/// the number of files scanned.
+pub fn check_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let files = workspace_files(root)?;
+    let mut sources: Vec<(PathBuf, String)> = Vec::with_capacity(files.len());
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        sources.push((rel, source));
+    }
+    let count = sources.len();
+    Ok((check_sources(&sources), count))
+}

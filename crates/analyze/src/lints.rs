@@ -1,0 +1,440 @@
+//! The workspace lint rules (L1–L5) and the token-stream passes that enforce them.
+//!
+//! All rules work on the lexed token stream with a brace-depth scope tracker — no
+//! type information — so each one is written to be conservative on the patterns this
+//! workspace actually uses, and every finding can be silenced at the exact site with
+//! `// mx-analyze: allow(<rule>)` when the heuristic is wrong on purpose.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, LexedFile, Token, TokenKind};
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1: a `PagePool::state()`/`lock()` guard binding must not live across a
+    /// pack/unpack/forward/decode-step hot call.
+    LockAcrossCall,
+    /// L2: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code.
+    NoPanics,
+    /// L3: no `Ordering::Relaxed` on `fetch_sub`/`compare_exchange` over refcount
+    /// fields — the drop-to-pool path needs `Release`/`Acquire`.
+    AtomicOrdering,
+    /// L4: no internal call sites of the deprecated `submit*` wrappers.
+    DeprecatedSubmit,
+    /// L5: every `pub` type declared in `paging.rs`/`serving.rs` must appear in the
+    /// compile-time `assert_send_sync` audit list.
+    SendSyncAudit,
+}
+
+impl Rule {
+    /// The stable rule id used in reports and suppression comments.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::LockAcrossCall => "lock-across-call",
+            Rule::NoPanics => "no-panics",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::DeprecatedSubmit => "deprecated-submit",
+            Rule::SendSyncAudit => "send-sync-audit",
+        }
+    }
+}
+
+/// One lint violation at a concrete source position.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path as supplied to the checker (workspace-relative in CLI runs).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}: {}", self.file.display(), self.line, self.col, self.rule.id(), self.message)
+    }
+}
+
+/// How a file participates in the lints, derived from its workspace-relative path.
+struct FileClass {
+    /// Library code: under a crate's `src/` (or the root `src/`), excluding `src/bin/`.
+    library: bool,
+    /// The file that *defines* the deprecated submit wrappers (exempt from L4).
+    deprecated_home: bool,
+    /// A concurrency module whose `pub` types feed the L5 audit.
+    concurrency_module: bool,
+}
+
+fn classify(path: &Path) -> FileClass {
+    let parts: Vec<&str> = path.iter().filter_map(|c| c.to_str()).collect();
+    let has = |name: &str| parts.contains(&name);
+    let in_src = has("src");
+    let file_name = parts.last().copied().unwrap_or("");
+    FileClass {
+        // `src/bin/` binaries are exempt like examples: they are figure drivers, not
+        // library surface.
+        library: in_src && !has("bin") && !has("tests") && !has("examples") && !has("benches"),
+        deprecated_home: in_src && file_name == "serving.rs",
+        concurrency_module: in_src && (file_name == "paging.rs" || file_name == "serving.rs"),
+    }
+}
+
+/// A live lock-guard binding tracked by L1.
+struct Guard {
+    name: String,
+    depth: usize,
+    line: usize,
+}
+
+/// A `pub` type declared in a concurrency module, pending L5 coverage.
+struct PubDecl {
+    name: String,
+    file: PathBuf,
+    line: usize,
+    col: usize,
+    suppressed: bool,
+}
+
+/// Check a set of `(workspace-relative path, source)` pairs and return all findings,
+/// sorted by file/line/column. The set should be the whole workspace for L5 to see
+/// the `assert_send_sync` coverage list (it lives in a test file).
+pub fn check_sources(files: &[(PathBuf, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut decls: Vec<PubDecl> = Vec::new();
+    let mut covered: Vec<String> = Vec::new();
+
+    for (path, source) in files {
+        let lexed = lex(source);
+        check_file(path, &lexed, &mut findings, &mut decls, &mut covered);
+    }
+
+    for decl in decls {
+        if !decl.suppressed && !covered.contains(&decl.name) {
+            findings.push(Finding {
+                file: decl.file,
+                line: decl.line,
+                col: decl.col,
+                rule: Rule::SendSyncAudit,
+                message: format!(
+                    "pub type `{}` in a concurrency module is missing from the `assert_send_sync` audit list",
+                    decl.name
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    findings
+}
+
+/// Token indices covered by `#[cfg(test)]`-gated items (the attribute's following
+/// braced block). Scans for the exact token sequence `# [ cfg ( test ) ]`.
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].ident() == Some("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].ident() == Some("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the gated item's opening brace; a `;` first means a brace-less item.
+        let mut j = i + 7;
+        let mut open = None;
+        while j < tokens.len() {
+            if tokens[j].is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if tokens[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        if let Some(start) = open {
+            let mut depth = 0usize;
+            let mut end = start;
+            for (k, tok) in tokens.iter().enumerate().skip(start) {
+                if tok.is_punct('{') {
+                    depth += 1;
+                } else if tok.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+            }
+            regions.push((i, end));
+            i = end + 1;
+        } else {
+            i = j + 1;
+        }
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], i: usize) -> bool {
+    regions.iter().any(|&(s, e)| i >= s && i <= e)
+}
+
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const GUARD_SOURCES: [&str; 2] = ["state", "lock"];
+const GUARD_CHAINS: [&str; 4] = ["unwrap", "expect", "unwrap_or_else", "unwrap_or_default"];
+const ORDERING_OPS: [&str; 3] = ["fetch_sub", "compare_exchange", "compare_exchange_weak"];
+const DEPRECATED_SUBMITS: [&str; 3] = ["submit", "submit_with_stop", "submit_with_sampling"];
+const PATTERN_KEYWORDS: [&str; 5] = ["mut", "ref", "Ok", "Some", "Err"];
+
+/// Is `name` one of the hot calls a pool guard must never be held across (L1)?
+fn is_hot_call(name: &str) -> bool {
+    name == "pack"
+        || name == "unpack"
+        || name.starts_with("pack_")
+        || name.starts_with("unpack_")
+        || name.starts_with("forward")
+        || name.starts_with("decode_step")
+}
+
+/// Does `field` look like a refcount (L3)?
+fn is_refcount_field(field: &str) -> bool {
+    let lower = field.to_lowercase();
+    lower.contains("refcount")
+        || lower.contains("ref_count")
+        || lower.contains("refcnt")
+        || lower.contains("refs")
+        || lower.contains("strong")
+        || lower == "rc"
+        || lower.ends_with("_rc")
+}
+
+fn check_file(
+    path: &Path,
+    lexed: &LexedFile,
+    findings: &mut Vec<Finding>,
+    decls: &mut Vec<PubDecl>,
+    covered: &mut Vec<String>,
+) {
+    let class = classify(path);
+    let tokens = &lexed.tokens;
+    let sup = &lexed.suppressions;
+    let regions = test_regions(tokens);
+
+    let push = |findings: &mut Vec<Finding>, tok: &Token, rule: Rule, message: String| {
+        if !sup.allows(tok.line, rule.id()) {
+            findings.push(Finding { file: path.to_path_buf(), line: tok.line, col: tok.col, rule, message });
+        }
+    };
+
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard> = Vec::new();
+
+    for i in 0..tokens.len() {
+        let tok = &tokens[i];
+        match &tok.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            TokenKind::Ident(name) => {
+                let in_test = in_regions(&regions, i);
+                let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+                let next_paren = tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+                let next_bang = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+
+                // L2: panic-adjacent constructs in library code.
+                if class.library && !in_test {
+                    if prev_dot && next_paren && PANIC_METHODS.contains(&name.as_str()) {
+                        push(
+                            findings,
+                            tok,
+                            Rule::NoPanics,
+                            format!("`.{name}()` in library code; handle the None/Err or document the invariant"),
+                        );
+                    }
+                    if next_bang && PANIC_MACROS.contains(&name.as_str()) {
+                        push(
+                            findings,
+                            tok,
+                            Rule::NoPanics,
+                            format!("`{name}!` in library code; return an error or document the invariant"),
+                        );
+                    }
+                }
+
+                // L1: track guard bindings and flag hot calls while one is live.
+                if name == "let" {
+                    if let Some(guard) = guard_binding(tokens, i) {
+                        guards.push(Guard { name: guard.0, depth, line: guard.1 });
+                    }
+                } else if name == "drop" && next_paren {
+                    if let Some(arg) = tokens.get(i + 2).and_then(Token::ident) {
+                        if tokens.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                            guards.retain(|g| g.name != arg);
+                        }
+                    }
+                } else if next_paren
+                    && is_hot_call(name)
+                    && tokens.get(i.wrapping_sub(1)).and_then(Token::ident).is_none_or(|p| p != "fn")
+                {
+                    if let Some(guard) = guards.last() {
+                        push(
+                            findings,
+                            tok,
+                            Rule::LockAcrossCall,
+                            format!(
+                                "pool guard `{}` (acquired on line {}) is still live across this call to `{name}`; \
+                                 drop it before pack/unpack/forward/decode hot paths",
+                                guard.name, guard.line
+                            ),
+                        );
+                    }
+                }
+
+                // L3: relaxed ordering on refcount read-modify-writes.
+                if prev_dot && next_paren && ORDERING_OPS.contains(&name.as_str()) && i >= 2 {
+                    if let Some(field) = tokens[i - 2].ident() {
+                        if is_refcount_field(field) && relaxed_in_args(tokens, i + 1) {
+                            push(
+                                findings,
+                                tok,
+                                Rule::AtomicOrdering,
+                                format!(
+                                    "`{field}.{name}` uses `Ordering::Relaxed`; refcount decrements need \
+                                     Release/Acquire for the drop-to-pool path"
+                                ),
+                            );
+                        }
+                    }
+                }
+
+                // L4: deprecated submit wrappers (method calls only), outside their home.
+                if !class.deprecated_home && prev_dot && next_paren && DEPRECATED_SUBMITS.contains(&name.as_str()) {
+                    push(
+                        findings,
+                        tok,
+                        Rule::DeprecatedSubmit,
+                        format!("deprecated wrapper `.{name}()`; use `submit_with(prompt, SubmitOptions::new(..))`"),
+                    );
+                }
+
+                // L5: collect pub type declarations and assert_send_sync coverage.
+                if class.concurrency_module
+                    && !in_test
+                    && (name == "struct" || name == "enum")
+                    && i >= 1
+                    && tokens[i - 1].ident() == Some("pub")
+                {
+                    if let Some(decl) = tokens.get(i + 1) {
+                        if let Some(type_name) = decl.ident() {
+                            decls.push(PubDecl {
+                                name: type_name.to_string(),
+                                file: path.to_path_buf(),
+                                line: decl.line,
+                                col: decl.col,
+                                suppressed: sup.allows(decl.line, Rule::SendSyncAudit.id()),
+                            });
+                        }
+                    }
+                }
+                if name == "assert_send_sync"
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && tokens.get(i + 3).is_some_and(|t| t.is_punct('<'))
+                {
+                    if let Some(covered_name) = tokens.get(i + 4).and_then(Token::ident) {
+                        covered.push(covered_name.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Scan a `let` statement starting at token `start` (the `let`). If its initializer
+/// is a terminal `.state()` / `.lock()` call (optionally chained through unwrap-style
+/// adapters), return the bound name and the binding's line.
+fn guard_binding(tokens: &[Token], start: usize) -> Option<(String, usize)> {
+    // Find the binding name: first identifier after `let` that is not a pattern keyword.
+    let mut i = start + 1;
+    let mut bound: Option<(String, usize)> = None;
+    while i < tokens.len() && !tokens[i].is_punct('=') && !tokens[i].is_punct(';') {
+        if let Some(name) = tokens[i].ident() {
+            if bound.is_none() && !PATTERN_KEYWORDS.contains(&name) {
+                bound = Some((name.to_string(), tokens[i].line));
+            }
+        }
+        i += 1;
+    }
+    let bound = bound?;
+    if !tokens.get(i)?.is_punct('=') {
+        return None;
+    }
+
+    // Walk the initializer looking for `.state(` / `.lock(`.
+    let mut j = i + 1;
+    let mut call_end: Option<usize> = None;
+    while j < tokens.len() && !tokens[j].is_punct(';') {
+        let is_guard_call = tokens[j].is_punct('.')
+            && tokens.get(j + 1).and_then(Token::ident).is_some_and(|n| GUARD_SOURCES.contains(&n))
+            && tokens.get(j + 2).is_some_and(|t| t.is_punct('('));
+        if is_guard_call {
+            call_end = close_paren(tokens, j + 2);
+            break;
+        }
+        j += 1;
+    }
+    let mut k = call_end? + 1;
+
+    // Allow unwrap-style chains after the guard call; anything else (e.g. `.free.len()`)
+    // means the guard is consumed inside the initializer and never bound.
+    while tokens.get(k).is_some_and(|t| t.is_punct('.')) {
+        let name = tokens.get(k + 1).and_then(Token::ident)?;
+        if !GUARD_CHAINS.contains(&name) || !tokens.get(k + 2).is_some_and(|t| t.is_punct('(')) {
+            return None;
+        }
+        k = close_paren(tokens, k + 2)? + 1;
+    }
+    if tokens.get(k).is_some_and(|t| t.is_punct(';')) {
+        Some(bound)
+    } else {
+        None
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn close_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct('(') {
+            depth += 1;
+        } else if tok.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Does the argument list opening at `open` contain the identifier `Relaxed`?
+fn relaxed_in_args(tokens: &[Token], open: usize) -> bool {
+    let Some(end) = close_paren(tokens, open) else { return false };
+    tokens[open..=end].iter().any(|t| t.ident() == Some("Relaxed"))
+}

@@ -1,0 +1,59 @@
+//! CLI for the workspace lints: `cargo run -p mx-analyze [root]`.
+//!
+//! Exits 0 when the tree is clean, 1 when any lint fires (one `file:line:col:
+//! rule-id: message` line per finding), 2 on I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root(arg: Option<String>) -> Option<PathBuf> {
+    if let Some(root) = arg {
+        return Some(PathBuf::from(root));
+    }
+    // `cargo run` keeps the invoker's cwd; accept it if it is the workspace root.
+    let cwd = std::env::current_dir().ok()?;
+    if is_workspace_root(&cwd) {
+        return Some(cwd);
+    }
+    // Fall back to walking up from this crate's manifest (cargo sets the var at runtime).
+    let manifest: PathBuf = std::env::var_os("CARGO_MANIFEST_DIR")?.into();
+    let mut dir = manifest.as_path();
+    while let Some(parent) = dir.parent() {
+        if is_workspace_root(parent) {
+            return Some(parent.to_path_buf());
+        }
+        dir = parent;
+    }
+    None
+}
+
+fn is_workspace_root(dir: &std::path::Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml")).is_ok_and(|m| m.contains("[workspace]"))
+}
+
+fn main() -> ExitCode {
+    let root = match workspace_root(std::env::args().nth(1)) {
+        Some(root) => root,
+        None => {
+            eprintln!("mx-analyze: cannot locate the workspace root; pass it as the first argument");
+            return ExitCode::from(2);
+        }
+    };
+    match mx_analyze::check_workspace(&root) {
+        Ok((findings, scanned)) if findings.is_empty() => {
+            println!("mx-analyze: {scanned} files clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok((findings, scanned)) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            eprintln!("mx-analyze: {} finding(s) across {scanned} files", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("mx-analyze: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

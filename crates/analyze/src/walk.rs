@@ -1,0 +1,36 @@
+//! Workspace file discovery: every first-party `.rs` file, skipping build output,
+//! vendored crates, VCS metadata, and the analyzer's own lint fixtures (which exist
+//! to violate the rules).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
+
+/// Collect all lintable `.rs` files under `root`, as paths relative to `root`,
+/// sorted for deterministic reports.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    visit(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn visit(root: &Path, dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            visit(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            files.push(rel);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Must-not-fire fixture for `atomic-ordering`: properly ordered refcounts, and
+//! relaxed counters that are not refcounts (plain statistics stay cheap).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Shared {
+    refcount: AtomicUsize,
+    materializations: AtomicUsize,
+}
+
+impl Shared {
+    pub fn release(&self) -> usize {
+        self.refcount.fetch_sub(1, Ordering::Release)
+    }
+
+    pub fn bump_stats(&self) -> usize {
+        self.materializations.fetch_add(1, Ordering::Relaxed)
+    }
+}

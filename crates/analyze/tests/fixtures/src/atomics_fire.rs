@@ -1,0 +1,17 @@
+//! Must-fire fixture for `atomic-ordering` (L3): relaxed refcount decrements.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Shared {
+    refcount: AtomicUsize,
+}
+
+impl Shared {
+    pub fn release(&self) -> usize {
+        self.refcount.fetch_sub(1, Ordering::Relaxed)
+    }
+
+    pub fn try_claim(&self, refs: &AtomicUsize) -> bool {
+        refs.compare_exchange(1, 0, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+    }
+}

@@ -1,0 +1,10 @@
+//! Must-not-fire fixture for `deprecated-submit`: the builder API is fine, and so
+//! are *definitions* (not call sites) of the legacy names.
+
+pub fn drive(engine: &mut ServingEngine) {
+    engine.submit_with(&[1, 2], SubmitOptions::new(8));
+}
+
+pub fn submit(queue: &mut Vec<usize>, token: usize) {
+    queue.push(token);
+}

@@ -1,0 +1,8 @@
+//! Must-fire fixture for `deprecated-submit` (L4): internal call sites of the
+//! legacy submission wrappers.
+
+pub fn drive(engine: &mut ServingEngine) {
+    engine.submit(&[1, 2], 8);
+    engine.submit_with_stop(&[3], 8, Some(7));
+    engine.submit_with_sampling(&[4], 8, None, Sampling::GREEDY);
+}

@@ -1,0 +1,21 @@
+//! Must-not-fire fixture for `lock-across-call`: guards scoped out, dropped, or
+//! never bound before the hot call runs.
+
+pub fn scoped(pool: &PagePool, cache: &mut PagedKvCache) {
+    {
+        let state = pool.state();
+        state.note();
+    }
+    cache.pack_row_into(&[0.0], &mut []);
+}
+
+pub fn dropped(pool: &PagePool, model: &Model) -> usize {
+    let guard = pool.lock();
+    drop(guard);
+    model.decode_step_backend(3)
+}
+
+pub fn temporary(pool: &PagePool, cache: &mut PagedKvCache) {
+    let free = pool.state().free_len();
+    cache.unpack_row_into(free, &mut []);
+}

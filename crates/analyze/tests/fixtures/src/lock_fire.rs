@@ -1,0 +1,14 @@
+//! Must-fire fixture for `lock-across-call` (L1): pool guards held across hot calls.
+
+pub fn bad_state(pool: &PagePool, cache: &mut PagedKvCache) {
+    let state = pool.state();
+    cache.unpack_row_into(0, &mut []);
+    drop(state);
+}
+
+pub fn bad_lock(pool: &PagePool, model: &Model) -> Vec<f32> {
+    let guard = pool.lock();
+    let logits = model.forward_backend_with_scratch(&[1], &mut ());
+    drop(guard);
+    logits
+}

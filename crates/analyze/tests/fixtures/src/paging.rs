@@ -1,0 +1,26 @@
+//! Must-fire fixture for `send-sync-audit` (L5): `pub` types in a file named
+//! `paging.rs` must appear in the `assert_send_sync` coverage list (here, in
+//! `tests/sendsync_audit.rs`). Only `Audited` is covered.
+
+pub struct Audited {
+    id: usize,
+}
+
+pub struct NotAudited {
+    id: usize,
+}
+
+pub(crate) struct Internal {
+    id: usize,
+}
+
+struct Private {
+    id: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    pub struct TestOnly {
+        id: usize,
+    }
+}

@@ -1,0 +1,17 @@
+//! Must-fire fixture for `no-panics` (L2): library code using banned constructs.
+
+pub fn unwraps(v: Option<usize>) -> usize {
+    v.unwrap()
+}
+
+pub fn expects(v: Option<usize>) -> usize {
+    v.expect("present")
+}
+
+pub fn panics() {
+    panic!("boom");
+}
+
+pub fn todos() -> usize {
+    todo!()
+}

@@ -1,0 +1,24 @@
+//! Suppression fixture: one would-be violation per rule, every one silenced with
+//! `// mx-analyze: allow(<rule>)` in both the line-above and trailing forms.
+
+pub fn quiet(v: Option<usize>, engine: &mut ServingEngine, pool: &PagePool, cache: &mut Cache) -> usize {
+    // mx-analyze: allow(no-panics) — exercised by the line-above suppression form
+    let a = v.unwrap();
+    let b = v.expect("fine"); // mx-analyze: allow(no-panics)
+    engine.submit(&[1], 2); // mx-analyze: allow(deprecated-submit)
+    let state = pool.state();
+    cache.pack_row_into(&[0.0], &mut []); // mx-analyze: allow(lock-across-call)
+    drop(state);
+    a + b
+}
+
+pub struct Refs {
+    refs: std::sync::atomic::AtomicUsize,
+}
+
+impl Refs {
+    pub fn release(&self) -> usize {
+        // mx-analyze: allow(atomic-ordering) — fixture counter, not a real refcount
+        self.refs.fetch_sub(1, std::sync::atomic::Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,9 @@
+//! Integration-test files are exempt from `no-panics` wholesale.
+
+#[test]
+fn unwrap_is_fine_here() {
+    let v: Option<usize> = Some(1);
+    assert_eq!(v.unwrap(), 1);
+    let w: Result<usize, ()> = Ok(2);
+    assert_eq!(w.expect("ok"), 2);
+}

@@ -1,0 +1,8 @@
+//! Coverage list for the L5 fixture: `Audited` is listed, `NotAudited` is not.
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn fixture_stack_is_send_and_sync() {
+    assert_send_sync::<Audited>();
+}

@@ -1,0 +1,126 @@
+//! Golden fixture tests: one must-fire and one must-not-fire case per rule, plus the
+//! suppression-comment mechanism, pinned to exact lines (and a spot-checked column).
+//!
+//! The fixtures live under `tests/fixtures/` with the same `src/` / `tests/` shape as
+//! a real crate, so the path-classification logic is exercised too.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mx_analyze::{check_sources, Finding};
+
+fn fixture(rel: &str) -> (PathBuf, String) {
+    let disk = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rel);
+    let source = fs::read_to_string(&disk).unwrap_or_else(|e| panic!("fixture {rel}: {e}"));
+    (PathBuf::from(rel), source)
+}
+
+fn check(rels: &[&str]) -> Vec<Finding> {
+    let files: Vec<_> = rels.iter().map(|r| fixture(r)).collect();
+    check_sources(&files)
+}
+
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<usize> {
+    findings.iter().filter(|f| f.rule.id() == rule).map(|f| f.line).collect()
+}
+
+#[test]
+fn no_panics_must_fire() {
+    let findings = check(&["src/panics_fire.rs"]);
+    assert_eq!(lines_of(&findings, "no-panics"), vec![4, 8, 12, 16], "findings: {findings:?}");
+    assert_eq!(findings.len(), 4);
+    // Spot-check the column math: `    v.unwrap()` puts `unwrap` at column 7.
+    assert_eq!((findings[0].line, findings[0].col), (4, 7));
+}
+
+#[test]
+fn no_panics_must_not_fire() {
+    assert!(check(&["src/panics_clean.rs"]).is_empty());
+    assert!(check(&["tests/panics_in_tests_ok.rs"]).is_empty());
+}
+
+#[test]
+fn lock_across_call_must_fire() {
+    let findings = check(&["src/lock_fire.rs"]);
+    assert_eq!(lines_of(&findings, "lock-across-call"), vec![5, 11], "findings: {findings:?}");
+    assert_eq!(findings.len(), 2);
+    assert!(findings[0].message.contains("`state`"), "message names the guard: {}", findings[0].message);
+}
+
+#[test]
+fn lock_across_call_must_not_fire() {
+    let findings = check(&["src/lock_clean.rs"]);
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+#[test]
+fn atomic_ordering_must_fire() {
+    let findings = check(&["src/atomics_fire.rs"]);
+    assert_eq!(lines_of(&findings, "atomic-ordering"), vec![11, 15], "findings: {findings:?}");
+    assert_eq!(findings.len(), 2);
+}
+
+#[test]
+fn atomic_ordering_must_not_fire() {
+    let findings = check(&["src/atomics_clean.rs"]);
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+#[test]
+fn deprecated_submit_must_fire() {
+    let findings = check(&["src/deprecated_fire.rs"]);
+    assert_eq!(lines_of(&findings, "deprecated-submit"), vec![5, 6, 7], "findings: {findings:?}");
+    assert_eq!(findings.len(), 3);
+}
+
+#[test]
+fn deprecated_submit_must_not_fire() {
+    let findings = check(&["src/deprecated_clean.rs"]);
+    assert!(findings.is_empty(), "findings: {findings:?}");
+}
+
+#[test]
+fn send_sync_audit_must_fire_on_uncovered_pub_type() {
+    // Without the coverage file, both pub types are uncovered; with it, only
+    // `NotAudited` fires — and private/pub(crate)/cfg(test) types never do.
+    let alone = check(&["src/paging.rs"]);
+    assert_eq!(lines_of(&alone, "send-sync-audit"), vec![5, 9], "findings: {alone:?}");
+
+    let findings = check(&["src/paging.rs", "tests/sendsync_audit.rs"]);
+    assert_eq!(lines_of(&findings, "send-sync-audit"), vec![9], "findings: {findings:?}");
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("NotAudited"));
+    assert_eq!((findings[0].line, findings[0].col), (9, 12));
+}
+
+#[test]
+fn suppression_comments_silence_every_rule() {
+    let findings = check(&["src/suppressed.rs"]);
+    assert!(findings.is_empty(), "suppressions ignored: {findings:?}");
+}
+
+#[test]
+fn findings_render_as_file_line_col_rule() {
+    let findings = check(&["src/panics_fire.rs"]);
+    let rendered = findings[0].to_string();
+    assert!(rendered.contains("src/panics_fire.rs:4:7: no-panics:"), "rendered: {rendered}");
+}
+
+/// The CLI must exit non-zero on the fixture tree and print `file:line:col` + rule ids.
+#[test]
+fn cli_exits_nonzero_on_must_fire_fixtures() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let out =
+        std::process::Command::new(env!("CARGO_BIN_EXE_mx-analyze")).arg(&fixtures).output().expect("run mx-analyze");
+    assert!(!out.status.success(), "analyzer must fail on the fixture tree");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "src/panics_fire.rs:4:7: no-panics:",
+        "lock-across-call",
+        "atomic-ordering",
+        "deprecated-submit",
+        "send-sync-audit",
+    ] {
+        assert!(stdout.contains(needle), "missing `{needle}` in:\n{stdout}");
+    }
+}

@@ -1,0 +1,26 @@
+//! The hard gate, enforced from `cargo test` as well as from CI's `cargo run -p
+//! mx-analyze`: the real workspace must be lint-clean, and the CLI must agree.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (findings, scanned) = mx_analyze::check_workspace(&root).expect("walk workspace");
+    assert!(scanned > 30, "workspace walk looks truncated: only {scanned} files");
+    assert!(
+        findings.is_empty(),
+        "workspace has {} lint finding(s):\n{}",
+        findings.len(),
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn cli_exits_zero_on_clean_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_mx-analyze")).arg(&root).output().expect("run mx-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "mx-analyze failed on the workspace:\n{stdout}\n{stderr}");
+}

@@ -86,6 +86,8 @@ pub fn olive_quantize_group(values: &[f32]) -> Vec<f32> {
     let without_outlier: Vec<f32> =
         values.iter().enumerate().filter(|(i, _)| *i != outlier_idx).map(|(_, &v)| v).collect();
     let q_rest = intq::quantize_symmetric(&without_outlier, 4);
+    // One quantized value per non-outlier input, consumed in the same order below.
+    debug_assert_eq!(q_rest.len() + 1, values.len(), "quantized rest must cover every non-outlier value");
     let mut it = q_rest.into_iter();
     values
         .iter()
@@ -95,7 +97,7 @@ pub fn olive_quantize_group(values: &[f32]) -> Vec<f32> {
                 // 8-bit representation of the outlier.
                 intq::quantize_symmetric(&[v], 8)[0]
             } else {
-                let q = it.next().expect("value present");
+                let q = it.next().unwrap_or_default();
                 if i == victim_idx && victim_idx != outlier_idx {
                     0.0
                 } else {

@@ -63,13 +63,16 @@ pub fn atom_quantize(activations: &Matrix, weights: &Matrix, config: AtomConfig)
             }
         }
         let normal_q = intq::quantize_grouped(&normal_vals, 4, config.group_size);
+        // Grouped quantization is length-preserving, so the iterator covers every
+        // non-outlier column in order.
+        debug_assert_eq!(normal_q.len(), normal_vals.len(), "grouped quantization must preserve length");
         let mut it = normal_q.into_iter();
         for c in 0..activations.cols() {
             if is_outlier(c) {
                 let q = intq::quantize_symmetric(&[activations.get(r, c)], 8)[0];
                 a_out.set(r, c, q);
             } else {
-                a_out.set(r, c, it.next().expect("normal value present"));
+                a_out.set(r, c, it.next().unwrap_or_default());
             }
         }
     }

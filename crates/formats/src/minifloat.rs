@@ -241,7 +241,9 @@ pub fn positive_grid(et: ElementType) -> Vec<f32> {
             out.push(v);
         }
     }
-    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp orders finite floats identically to partial_cmp, without the NaN escape
+    // hatch (the is_finite filter above already excludes NaN anyway).
+    out.sort_by(f32::total_cmp);
     out.dedup();
     out
 }

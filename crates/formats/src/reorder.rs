@@ -141,10 +141,15 @@ pub fn reorder_by_outlier_count(counts: &[usize]) -> ChannelPermutation {
     let rest: Vec<usize> = sorted[n_leaders..].to_vec();
     let half = rest.len() / 2;
     let fill: Vec<usize> = rest[..half].iter().chain(rest[half..].iter()).copied().collect();
+    // Exactly `cols - n_leaders` slots are unfilled, matching `fill`'s length; if that
+    // ever broke, a usize::MAX left behind would fail `from_order`'s validation below.
+    debug_assert_eq!(fill.len(), cols - n_leaders, "fill list does not cover the non-leader slots");
     let mut fill_iter = fill.into_iter();
     for slot in order.iter_mut() {
         if *slot == usize::MAX {
-            *slot = fill_iter.next().expect("fill list exhausted prematurely");
+            if let Some(c) = fill_iter.next() {
+                *slot = c;
+            }
         }
     }
     ChannelPermutation::from_order(order)

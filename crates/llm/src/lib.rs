@@ -40,7 +40,9 @@ pub use config::ModelConfig;
 pub use eval::{evaluate_perplexity, PerplexityReport};
 pub use kvcache::{KvBackend, KvCache, KvLayerReader, LayerKvCache};
 pub use model::{DecodePath, TransformerModel};
-pub use paging::{PagePool, PagedKvCache, PagedScratch, PagingError, SharedPrefix, SpilledKv};
+pub use paging::{
+    audit_caches, PagePool, PagedKvCache, PagedLayerReader, PagedScratch, PagingError, SharedPrefix, SpilledKv,
+};
 pub use quant_config::ModelQuantConfig;
 pub use sampling::{Sampling, SamplingPolicy, SeqRng};
 pub use serving::{FinishReason, Sequence, ServingEngine, ServingReport, SubmitOptions};

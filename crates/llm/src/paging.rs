@@ -122,7 +122,13 @@ struct SharedPage {
 
 impl SharedPage {
     fn buf(&self) -> &[u8] {
-        &self.entry.as_ref().expect("shared page already reclaimed").buf
+        // Invariant: a SharedPage reachable through a page table always holds its entry.
+        // The entry only leaves via sole-owner copy-on-write (which consumes the last
+        // Arc, so no table can still point here) or Drop.
+        match &self.entry {
+            Some(entry) => &entry.buf,
+            None => unreachable!("shared page already reclaimed"),
+        }
     }
 }
 
@@ -154,6 +160,17 @@ impl PageRef {
 
     fn is_shared(&self) -> bool {
         matches!(self, PageRef::Shared(_))
+    }
+
+    /// The pool page id this table entry is mapped to (used by the debug audits).
+    fn id(&self) -> usize {
+        match self {
+            PageRef::Owned(entry) => entry.id,
+            PageRef::Shared(page) => match &page.entry {
+                Some(entry) => entry.id,
+                None => unreachable!("shared page already reclaimed"),
+            },
+        }
     }
 }
 
@@ -236,9 +253,11 @@ impl PoolState {
     /// which is what makes admission decisions binding.
     fn alloc_reserved(&mut self) -> PageEntry {
         assert!(self.reserved > 0, "allocating without a reservation");
-        let id = self.free.pop().expect("reserved pages must be free");
+        // Invariant: `reserved <= free.len()` (reservations only come from the free
+        // headroom) and every free id's buffer is home — `PagePool::audit` checks both.
+        let Some(id) = self.free.pop() else { unreachable!("reserved pages must be free") };
         self.reserved -= 1;
-        let buf = self.buffers[id].take().expect("free page must hold its buffer");
+        let Some(buf) = self.buffers[id].take() else { unreachable!("free page {id} lost its buffer") };
         PageEntry { id, buf }
     }
 
@@ -314,7 +333,14 @@ impl PagePool {
     }
 
     fn state(&self) -> MutexGuard<'_, PoolState> {
-        self.state.lock().expect("page pool lock poisoned")
+        // Recover from poisoning instead of panicking: a worker that panicked mid-step
+        // already propagates through the thread scope, and the Drop paths (caches,
+        // shared pages) must still be able to return pages during that unwinding —
+        // a second panic here would turn a diagnosable failure into an abort.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
     }
 
     /// Number of position slots per page.
@@ -370,6 +396,33 @@ impl PagePool {
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
         self.in_use_pages() * self.page_bytes()
+    }
+
+    /// Debug-build sanitizer: reconciles the pool's internal accounting — every page
+    /// is either home (free) or checked out (`free + in-use == capacity`), free ids
+    /// are unique and in range with their buffers home, and reservations never exceed
+    /// the free headroom. Compiles to a no-op in release builds, so callers (the
+    /// serving engine at pass boundaries, the churn proptests at every step) invoke it
+    /// unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds only) if any invariant is violated.
+    pub fn audit(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let state = self.state();
+        let mut seen = vec![false; self.pages];
+        for &id in &state.free {
+            assert!(id < self.pages, "free list holds out-of-range page id {id}");
+            assert!(!seen[id], "page {id} appears twice in the free list");
+            seen[id] = true;
+            assert!(state.buffers[id].is_some(), "free page {id} lost its buffer");
+        }
+        let home = state.buffers.iter().filter(|buf| buf.is_some()).count();
+        assert_eq!(home, state.free.len(), "pages home in the pool must be exactly the free pages");
+        assert!(state.reserved <= state.free.len(), "more pages reserved than free");
     }
 
     /// Reserves `pages` pages for a sequence being admitted. Returns `false` (reserving
@@ -657,9 +710,11 @@ impl PagedKvCache {
     /// Removes the page at `page_idx` from `layer`'s table in O(1), leaving the other
     /// entries displaced until the matching [`PagedKvCache::put_page`].
     fn take_page(&mut self, layer: usize, page_idx: usize) -> PageRef {
+        // `swap` has already bounds-checked `page_idx`, so the table cannot be empty.
         let last = self.tables[layer].len() - 1;
         self.tables[layer].swap(page_idx, last);
-        self.tables[layer].pop().expect("page index out of range")
+        let Some(page) = self.tables[layer].pop() else { unreachable!("page index out of range") };
+        page
     }
 
     /// Reinserts a page taken with [`PagedKvCache::take_page`] at its original index.
@@ -692,8 +747,12 @@ impl PagedKvCache {
         let PageRef::Shared(arc) = self.take_page(layer, page_idx) else { unreachable!("checked Shared above") };
         let entry = match Arc::try_unwrap(arc) {
             // Sole owner: take the page back exclusively; the pool accounting is
-            // untouched (the page stays checked out, now to this cache alone).
-            Ok(mut sole) => sole.entry.take().expect("shared page already reclaimed"),
+            // untouched (the page stays checked out, now to this cache alone). The
+            // entry is present for the same invariant `SharedPage::buf` relies on.
+            Ok(mut sole) => match sole.entry.take() {
+                Some(entry) => entry,
+                None => unreachable!("shared page already reclaimed"),
+            },
             Err(arc) => {
                 let mut entry = self.alloc_page(layer);
                 entry.buf.copy_from_slice(arc.buf());
@@ -871,6 +930,60 @@ impl Drop for PagedKvCache {
     }
 }
 
+/// Debug-build sanitizer over the pool *and* every live cache. Beyond
+/// [`PagePool::audit`], reconciles the caches' page tables against the pool's
+/// accounting: each table is sized exactly for its appended rows, no page is
+/// exclusively owned by two tables (or mapped both exclusively and shared), every
+/// shared mapping still holds its buffer, and the distinct pages reachable from the
+/// caches account for **every** checked-out page — no leak, no double free.
+///
+/// `caches` must enumerate every holder of the pool's pages, and the pool must be
+/// quiescent for the duration of the call (the serving engine audits between scheduler
+/// passes, the churn proptest after every operation). Compiles to a no-op in release.
+///
+/// # Panics
+///
+/// Panics (debug builds only) if any invariant is violated.
+pub fn audit_caches<'a, I>(pool: &PagePool, caches: I)
+where
+    I: IntoIterator<Item = &'a PagedKvCache>,
+{
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    pool.audit();
+    let mut owned = std::collections::HashSet::new();
+    let mut shared = std::collections::HashSet::new();
+    for cache in caches {
+        let pp = pool.page_positions();
+        for (layer, table) in cache.tables.iter().enumerate() {
+            assert_eq!(
+                table.len(),
+                cache.lens[layer].div_ceil(pp),
+                "layer {layer} page table size disagrees with its appended length"
+            );
+            for page in table {
+                match page {
+                    PageRef::Owned(entry) => {
+                        assert!(owned.insert(entry.id), "page {} exclusively owned by two tables", entry.id);
+                    }
+                    PageRef::Shared(_) => {
+                        shared.insert(page.id());
+                    }
+                }
+            }
+        }
+    }
+    for id in &shared {
+        assert!(!owned.contains(id), "page {id} is mapped both exclusively and shared");
+    }
+    assert_eq!(
+        owned.len() + shared.len(),
+        pool.in_use_pages(),
+        "checked-out pages not accounted for by any live cache (leak or double free)"
+    );
+}
+
 /// Per-layer row reader of a [`PagedKvCache`]: resolves positions through the page table
 /// and decodes the packed slot into the worker's [`PagedScratch`] buffers. Never touches
 /// the pool lock — the pages it reads are exclusively owned by the cache it borrows.
@@ -974,6 +1087,52 @@ mod tests {
         let mut scratch = PagedScratch::default();
         let mut reader = cache.layer_reader(layer, &mut scratch);
         (reader.key_row(t).to_vec(), reader.value_row(t).to_vec())
+    }
+
+    /// The sanitizers must hold through a full share → copy-on-write → spill → restore
+    /// lifecycle (they run after every churn-proptest step too; this pins the happy
+    /// path deterministically).
+    #[test]
+    fn audit_passes_through_share_cow_spill_lifecycle() {
+        let scheme = QuantScheme::mxfp4();
+        let pool = pool_64(scheme);
+        audit_caches(&pool, std::iter::empty());
+        let mut donor = PagedKvCache::new(&pool, 2, 64, scheme, 8).unwrap();
+        for t in 0..6 {
+            for layer in 0..2 {
+                donor.append(layer, &sample_row(64, t), &sample_row(64, t + 100));
+            }
+        }
+        audit_caches(&pool, [&donor]);
+        let prefix = donor.share_prefix(6);
+        let mut recipient = PagedKvCache::with_shared_prefix(&pool, 2, 64, scheme, 8, prefix).unwrap();
+        audit_caches(&pool, [&donor, &recipient]);
+        // Diverge: the recipient's append into the shared boundary page copy-on-writes.
+        for layer in 0..2 {
+            recipient.append(layer, &sample_row(64, 42), &sample_row(64, 142));
+        }
+        audit_caches(&pool, [&donor, &recipient]);
+        let spilled = donor.spill();
+        audit_caches(&pool, [&donor, &recipient]);
+        let restored = PagedKvCache::restore(&pool, 2, 64, scheme, 8, &spilled).unwrap();
+        audit_caches(&pool, [&donor, &restored, &recipient]);
+        drop(restored);
+        drop(recipient);
+        audit_caches(&pool, [&donor]);
+        pool.audit();
+    }
+
+    /// A page checked out but reachable from no cache is a leak; the cache-level
+    /// sanitizer must catch it. (Debug builds only: the audit is a release no-op.)
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "not accounted for by any live cache")]
+    fn audit_catches_leaked_pages() {
+        let pool = pool_64(QuantScheme::mxfp4());
+        assert!(pool.try_reserve(1));
+        let entry = pool.alloc_reserved();
+        audit_caches(&pool, std::iter::empty());
+        drop(entry);
     }
 
     #[test]

@@ -726,12 +726,17 @@ impl<'m> ServingEngine<'m> {
                     for (worker, chunk) in active.chunks(per_worker.max(1)).enumerate() {
                         for &idx in chunk {
                             let seq = std::mem::replace(&mut self.sequences[idx], Sequence::parked());
+                            // A closed channel means the worker panicked; panicking here is
+                            // the intended propagation path (the scope join re-raises it).
+                            // mx-analyze: allow(no-panics)
                             pool.jobs[worker].send((idx, seq)).expect("decode worker hung up");
                             sent[worker] += 1;
                         }
                     }
                     for (worker, &count) in sent.iter().enumerate() {
                         for _ in 0..count {
+                            // Same as the send above: a worker death must fail the run loudly.
+                            // mx-analyze: allow(no-panics)
                             let out = pool.results[worker].recv().expect("decode worker panicked");
                             self.sequences[out.index] = out.seq;
                             stats.generated += out.tokens;
@@ -748,6 +753,10 @@ impl<'m> ServingEngine<'m> {
             for seq in &mut self.sequences {
                 seq.retire();
             }
+            // Pass boundary: every sequence is back in the table and the workers are
+            // idle, so the pool must reconcile exactly against the live caches (the
+            // audit is a debug-build no-op in release).
+            self.audit_pool();
 
             pass += 1;
             let pending = self
@@ -757,6 +766,21 @@ impl<'m> ServingEngine<'m> {
             if !progressed && !pending {
                 break;
             }
+        }
+    }
+
+    /// Debug-build pass-boundary sanitizer: reconciles the page pool against every
+    /// live paged cache (see [`crate::paging::audit_caches`]). No-op in release
+    /// builds and on the f32 backend.
+    fn audit_pool(&self) {
+        if let Some(pool) = &self.pool {
+            crate::paging::audit_caches(
+                pool,
+                self.sequences.iter().filter_map(|s| match &s.cache {
+                    SeqCache::Paged(cache) => Some(cache),
+                    _ => None,
+                }),
+            );
         }
     }
 

@@ -91,7 +91,9 @@ impl Task {
             "Qwen-2.5-14B" => [0.8152, 0.6246, 0.7287, 0.71, 0.8760, 0.8704],
             _ => [0.75, 0.48, 0.72, 0.48, 0.70, 0.65],
         };
-        let idx = Task::ALL.iter().position(|t| *t == self).expect("task present");
+        // Every Task variant is listed in Task::ALL by construction.
+        let idx = Task::ALL.iter().position(|t| *t == self).unwrap_or_default();
+        debug_assert!(Task::ALL.contains(&self), "task missing from Task::ALL");
         row[idx]
     }
 }

@@ -11,7 +11,8 @@
 
 use mx_llm::{
     DecodePath, FinishReason, KvCache, LayerKvCache, ModelConfig, ModelQuantConfig, PagePool, PagedKvCache,
-    PagedScratch, Sampling, Sequence, ServingEngine, ServingReport, SpilledKv, SubmitOptions, TransformerModel,
+    PagedLayerReader, PagedScratch, PagingError, Sampling, Sequence, ServingEngine, ServingReport, SharedPrefix,
+    SpilledKv, SubmitOptions, TransformerModel,
 };
 
 fn model() -> TransformerModel {
@@ -35,6 +36,10 @@ fn serving_stack_is_send_and_sync() {
     assert_send_sync::<Sampling>();
     assert_send_sync::<SubmitOptions>();
     assert_send_sync::<SpilledKv>();
+    assert_send_sync::<PagingError>();
+    assert_send_sync::<SharedPrefix>();
+    assert_send_sync::<PagedLayerReader<'static>>();
+    assert_send_sync::<FinishReason>();
 }
 
 /// 4 sequences × 64 tokens = 256 decoded tokens on the f32 backend: 4-thread output must

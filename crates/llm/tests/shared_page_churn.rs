@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use mx_formats::{QuantScheme, RowCodec};
 use mx_llm::kvcache::{KvBackend, KvLayerReader};
-use mx_llm::{PagePool, PagedKvCache, PagedScratch};
+use mx_llm::{audit_caches, PagePool, PagedKvCache, PagedScratch};
 use proptest::prelude::*;
 
 const KV_DIM: usize = 64;
@@ -86,6 +86,11 @@ fn pool_invariants(pool: &Arc<PagePool>, live: &[Option<Slot>], step: usize) {
         "step {step}: pages in use that no live cache references (leak): {} in use, {referenced} referenced",
         pool.in_use_pages()
     );
+    // The debug-build sanitizers reconcile the pool's internal accounting and the
+    // *exact* page ownership against every live cache's page table (distinct mapped
+    // pages == checked-out pages; no double-ownership; tables sized to their rows).
+    pool.audit();
+    audit_caches(pool, live.iter().flatten().map(|s| &s.cache));
 }
 
 proptest! {

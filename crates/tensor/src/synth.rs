@@ -101,7 +101,9 @@ impl ActivationProfile {
     #[must_use]
     pub fn sample(&self, tokens: usize, tag: u64) -> Matrix {
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x100_0000_01b3).wrapping_add(tag));
-        let bulk = Normal::new(0.0_f32, self.bulk_std).expect("valid normal");
+        // `bulk_std` is a finite, non-negative profile constant, so the distribution
+        // is always constructible.
+        let Ok(bulk) = Normal::new(0.0_f32, self.bulk_std) else { unreachable!("invalid bulk std") };
         let outlier_set: std::collections::HashSet<usize> = self.outlier_channels.iter().copied().collect();
         Matrix::from_fn(tokens, self.hidden, |_r, c| {
             let base = bulk.sample(&mut rng);
@@ -122,7 +124,8 @@ impl ActivationProfile {
 pub fn xavier_weights(fan_in: usize, fan_out: usize, gain: f32, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
     let std = gain / (fan_in as f32).sqrt();
-    let dist = Normal::new(0.0_f32, std).expect("valid normal");
+    // Finite for any non-zero fan_in and finite gain (callers pass small constants).
+    let Ok(dist) = Normal::new(0.0_f32, std) else { unreachable!("invalid xavier std") };
     Matrix::from_fn(fan_in, fan_out, |_, _| dist.sample(&mut rng))
 }
 
