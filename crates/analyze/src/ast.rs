@@ -1,0 +1,206 @@
+//! A lightweight item/block/expression AST for the dataflow passes.
+//!
+//! This is deliberately *not* a faithful Rust AST: operator precedence is flattened
+//! into evaluation-ordered [`Expr::Seq`] lists, types and patterns are reduced to the
+//! identifiers they bind, and anything the passes never look at (literals, lifetimes,
+//! paths to constants) collapses into [`Expr::Unit`]. What it does preserve — exactly —
+//! is the control-flow structure ([`Expr::If`]/[`Expr::Match`]/loops/`return`/`?`) and
+//! the call/method-call shape with source spans, which is all the CFG builder in
+//! [`crate::dataflow`] needs.
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// One `fn` item with a parsed body.
+#[derive(Debug)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Span of the name token.
+    pub span: Span,
+    /// Index of the `fn` keyword in the file's token stream — used to map the function
+    /// back onto `#[cfg(test)]` token regions.
+    pub token_start: usize,
+    /// The parsed body.
+    pub body: Block,
+}
+
+/// A braced block: statements plus an optional tail expression (the block's value).
+#[derive(Debug)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+    /// The tail expression, if the block ends in an expression without `;`.
+    pub tail: Option<Box<Expr>>,
+    /// Span of the closing `}` — where the block's locals are dropped.
+    pub close: Span,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat>(: <ty>)? = <init> (else <block>)?;`
+    Let {
+        /// Names bound by the pattern, with the span of each name.
+        names: Vec<(String, Span)>,
+        /// The initializer, if present.
+        init: Option<Expr>,
+        /// The `else` diverging block of a `let-else`.
+        else_block: Option<Block>,
+    },
+    /// An expression statement (with or without a trailing `;`).
+    Expr(Expr),
+}
+
+/// One `match` arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// Names bound by the arm's pattern.
+    pub bound: Vec<(String, Span)>,
+    /// The `if` guard expression, if any.
+    pub guard: Option<Expr>,
+    /// The arm body.
+    pub body: Expr,
+}
+
+/// One expression, flattened to what the dataflow passes observe.
+#[derive(Debug)]
+pub enum Expr {
+    /// A lone identifier in value position (a variable read/move).
+    Var {
+        /// The identifier.
+        name: String,
+        /// Its span.
+        span: Span,
+    },
+    /// `base.name` field access (also tuple indices, as `"0"`).
+    Field {
+        /// The accessed value.
+        base: Box<Expr>,
+    },
+    /// `base[index]`.
+    Index {
+        /// The indexed value.
+        base: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// A call: `name(args)` for path calls (callee is the last path segment), or a call
+    /// of a non-path expression (`(f)(x)`), in which case `callee` is `None`.
+    Call {
+        /// Last path segment of the callee, if the callee is a plain path.
+        callee: Option<String>,
+        /// Span of the callee (or the opening paren when the callee is not a path).
+        span: Span,
+        /// The non-path callee expression, when there is one.
+        base: Option<Box<Expr>>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `recv.name(args)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Span of the method name.
+        span: Span,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `name!(...)` — arguments are reduced to the bare identifiers inside.
+    MacroCall {
+        /// Identifiers appearing anywhere in the macro arguments.
+        idents: Vec<(String, Span)>,
+    },
+    /// `if` / `if let`, with an optional `else` (a [`Expr::BlockExpr`] or nested `If`).
+    If {
+        /// Names bound by an `if let` pattern (scoped to the then-branch).
+        bound: Vec<(String, Span)>,
+        /// The condition (or `if let` scrutinee).
+        cond: Box<Expr>,
+        /// The then-branch.
+        then: Block,
+        /// The else-branch, if any.
+        orelse: Option<Box<Expr>>,
+    },
+    /// `match`.
+    Match {
+        /// The scrutinee.
+        scrutinee: Box<Expr>,
+        /// The arms.
+        arms: Vec<Arm>,
+    },
+    /// `loop { .. }` (exits only through `break`).
+    Loop {
+        /// The body.
+        body: Block,
+    },
+    /// `while <cond> { .. }` / `while let <pat> = <expr> { .. }`.
+    While {
+        /// Names bound by a `while let` pattern (scoped to the body).
+        bound: Vec<(String, Span)>,
+        /// The condition (re-evaluated every iteration).
+        cond: Box<Expr>,
+        /// The body.
+        body: Block,
+    },
+    /// `for <pat> in <iter> { .. }`.
+    For {
+        /// Names bound by the loop pattern (scoped to the body).
+        bound: Vec<(String, Span)>,
+        /// The iterator expression (evaluated once).
+        iter: Box<Expr>,
+        /// The body.
+        body: Block,
+    },
+    /// A block in expression position (incl. `unsafe { .. }`).
+    BlockExpr(Block),
+    /// `return <value>?`.
+    Return {
+        /// The returned value, if any.
+        value: Option<Box<Expr>>,
+        /// Span of the `return` keyword.
+        span: Span,
+    },
+    /// `break <value>?` (labels are ignored — resolved to the innermost loop).
+    Break {
+        /// The break value, if any.
+        value: Option<Box<Expr>>,
+    },
+    /// `continue` (labels are ignored — resolved to the innermost loop).
+    Continue,
+    /// `inner?` — an early-exit edge on the error path.
+    Question {
+        /// The tried expression.
+        inner: Box<Expr>,
+        /// Span of the `?`.
+        span: Span,
+    },
+    /// A closure; the body is lowered inline (see the known-limits notes).
+    Closure {
+        /// The closure body.
+        body: Box<Expr>,
+    },
+    /// A struct literal; field values (incl. shorthand `Foo { x }` reads) in order.
+    StructLit {
+        /// The field-value expressions.
+        fields: Vec<Expr>,
+    },
+    /// `&e` / `&mut e` / `*e` / `-e` / `!e` — the operand is read, not moved.
+    Borrow {
+        /// The operand.
+        inner: Box<Expr>,
+    },
+    /// An evaluation-ordered list: operator chains, tuples, arrays, argument-like
+    /// groupings with no structure the passes care about.
+    Seq(Vec<Expr>),
+    /// A literal, path constant, lifetime label or other leaf with no dataflow content.
+    Unit,
+}

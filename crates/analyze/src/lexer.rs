@@ -5,9 +5,7 @@
 //! string literals (plain, raw `r#"..."#`, byte, byte-raw), char literals, and
 //! lifetimes, so that a `pack_row_into` inside a doc comment or a `"panic!"` inside a
 //! format string can never trip a rule. Along the way it collects
-//! `// mx-analyze: allow(<rule>)` suppression comments keyed by line.
-
-use std::collections::HashMap;
+//! `// mx-analyze: allow(<rule>) reason: <text>` suppression comments with positions.
 
 /// Kind of a lexed token. Literals and lifetimes are kept (with positions) but carry
 /// no text: no lint ever matches on their contents.
@@ -49,20 +47,37 @@ impl Token {
     }
 }
 
-/// `// mx-analyze: allow(<rule>[, <rule>...])` comments collected during lexing.
+/// One rule allowed by a `// mx-analyze: allow(<rule>[, <rule>...]) reason: <text>`
+/// comment. A comment naming several rules yields one entry per rule, all sharing the
+/// comment's position and reason.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// 1-based column of the comment's first `/`.
+    pub col: usize,
+    /// The rule id this entry allows.
+    pub rule: String,
+    /// Text after the `reason:` tail. The tail is required; `None` is itself reported
+    /// by the `meta-unused-allow` pass.
+    pub reason: Option<String>,
+}
+
+/// All suppression comments collected during lexing, in source order.
 ///
 /// A suppression covers findings on its own line (trailing comment) and on the line
 /// directly below it (standalone comment above the code).
 #[derive(Debug, Default)]
 pub struct Suppressions {
-    by_line: HashMap<usize, Vec<String>>,
+    /// The collected entries.
+    pub entries: Vec<Suppression>,
 }
 
 impl Suppressions {
-    /// Does a suppression on `line` or the line above it allow `rule`?
-    pub fn allows(&self, line: usize, rule: &str) -> bool {
-        let lines = [line, line.saturating_sub(1)];
-        lines.iter().any(|l| self.by_line.get(l).is_some_and(|rules| rules.iter().any(|r| r == rule)))
+    /// Index of the first entry covering a finding of `rule` on `line`: the entry sits
+    /// on the finding's own line or on the line directly above it.
+    pub fn covering(&self, line: usize, rule: &str) -> Option<usize> {
+        self.entries.iter().position(|s| s.rule == rule && (s.line == line || s.line + 1 == line))
     }
 }
 
@@ -112,16 +127,25 @@ fn is_ident_continue(c: char) -> bool {
     c == '_' || c.is_alphanumeric()
 }
 
-/// Parse the rule list out of one `mx-analyze: allow(a, b)` line comment, if present.
-fn record_suppressions(comment: &str, line: usize, by_line: &mut HashMap<usize, Vec<String>>) {
+/// Parse the rule list and `reason:` tail out of one suppression line comment, if
+/// present. (The syntax is spelled out in the module docs; repeating a literal
+/// example here would register as a suppression in this very file.)
+fn record_suppressions(comment: &str, line: usize, col: usize, entries: &mut Vec<Suppression>) {
     let Some(at) = comment.find("mx-analyze:") else { return };
     let rest = &comment[at + "mx-analyze:".len()..];
     let Some(open) = rest.find("allow(") else { return };
     let args = &rest[open + "allow(".len()..];
     let Some(close) = args.find(')') else { return };
-    let rules: Vec<String> = args[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
-    if !rules.is_empty() {
-        by_line.entry(line).or_default().extend(rules);
+    let reason = args[close..]
+        .find("reason:")
+        .map(|r| args[close + r + "reason:".len()..].trim().to_string())
+        .filter(|r| !r.is_empty());
+    // Only well-formed rule ids count: documentation placeholders like `allow(<rule>)`
+    // in doc comments must not register as (unused) suppressions.
+    let well_formed =
+        |r: &str| !r.is_empty() && r.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+    for rule in args[..close].split(',').map(str::trim).filter(|r| well_formed(r)) {
+        entries.push(Suppression { line, col, rule: rule.to_string(), reason: reason.clone() });
     }
 }
 
@@ -130,7 +154,7 @@ fn record_suppressions(comment: &str, line: usize, by_line: &mut HashMap<usize, 
 pub fn lex(source: &str) -> LexedFile {
     let mut cur = Cursor { chars: source.chars().collect(), i: 0, line: 1, col: 1 };
     let mut tokens = Vec::new();
-    let mut by_line: HashMap<usize, Vec<String>> = HashMap::new();
+    let mut entries: Vec<Suppression> = Vec::new();
 
     while !cur.done() {
         let (line, col) = (cur.line, cur.col);
@@ -151,7 +175,7 @@ pub fn lex(source: &str) -> LexedFile {
                 text.push(ch);
                 cur.bump();
             }
-            record_suppressions(&text, line, &mut by_line);
+            record_suppressions(&text, line, col, &mut entries);
             continue;
         }
 
@@ -236,7 +260,7 @@ pub fn lex(source: &str) -> LexedFile {
         tokens.push(Token { kind: TokenKind::Punct(c), line, col });
     }
 
-    LexedFile { tokens, suppressions: Suppressions { by_line } }
+    LexedFile { tokens, suppressions: Suppressions { entries } }
 }
 
 /// Consume a string body after the opening `"`, honoring escapes.

@@ -1,21 +1,29 @@
-//! The workspace lint rules (L1–L5) and the token-stream passes that enforce them.
+//! The workspace lint rules and the engine that runs them.
 //!
-//! All rules work on the lexed token stream with a brace-depth scope tracker — no
-//! type information — so each one is written to be conservative on the patterns this
-//! workspace actually uses, and every finding can be silenced at the exact site with
-//! `// mx-analyze: allow(<rule>)` when the heuristic is wrong on purpose.
+//! Two layers share the lexed token stream. The *token passes* (`no-panics`,
+//! `atomic-ordering`, `deprecated-submit`, `send-sync-audit`) stay simple pattern
+//! matchers. The *dataflow passes* (`page-lifecycle`, `guard-liveness`,
+//! `must-release`) parse every function body ([`crate::parser`]) and run forward
+//! abstract interpretation over its CFG ([`crate::dataflow`]), so they see real
+//! scopes, match arms, and `return`/`?` edges instead of brace depths.
+//!
+//! All passes emit unconditionally; suppression is a pipeline stage. A finding whose
+//! line is covered by `// mx-analyze: allow(<rule>) reason: <text>` moves to
+//! [`Report::suppressed`] (with its reason), marking the comment used. Suppression
+//! comments that silence nothing — or omit the required `reason:` tail — are
+//! themselves findings under `meta-unused-allow`, which cannot be suppressed.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use crate::lexer::{lex, LexedFile, Token, TokenKind};
+use crate::ast::Span;
+use crate::dataflow::{build_cfg, run_pass, GuardLiveness, MustRelease, PageLifecycle, PassFinding, Transfer};
+use crate::lexer::{lex, LexedFile, Suppressions, Token};
+use crate::parser::parse;
 
 /// Identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
-    /// L1: a `PagePool::state()`/`lock()` guard binding must not live across a
-    /// pack/unpack/forward/decode-step hot call.
-    LockAcrossCall,
     /// L2: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code.
     NoPanics,
     /// L3: no `Ordering::Relaxed` on `fetch_sub`/`compare_exchange` over refcount
@@ -26,17 +34,32 @@ pub enum Rule {
     /// L5: every `pub` type declared in `paging.rs`/`serving.rs` must appear in the
     /// compile-time `assert_send_sync` audit list.
     SendSyncAudit,
+    /// L6: page bindings from `reserve`/`alloc*`/`share_prefix` must not be
+    /// double-freed, used after free, or dropped while still allocated.
+    PageLifecycle,
+    /// L7: a `.state()`/`.lock()` guard binding must not be live across a
+    /// pack/unpack/forward/decode-step hot call on any CFG path.
+    GuardLiveness,
+    /// L8: every binding from `reserve` must reach a release or a handoff on every
+    /// path, including early returns and `?` edges.
+    MustRelease,
+    /// Meta: an `allow(...)` suppression that silences nothing, or lacks its
+    /// required `reason:` tail.
+    MetaUnusedAllow,
 }
 
 impl Rule {
     /// The stable rule id used in reports and suppression comments.
     pub fn id(self) -> &'static str {
         match self {
-            Rule::LockAcrossCall => "lock-across-call",
             Rule::NoPanics => "no-panics",
             Rule::AtomicOrdering => "atomic-ordering",
             Rule::DeprecatedSubmit => "deprecated-submit",
             Rule::SendSyncAudit => "send-sync-audit",
+            Rule::PageLifecycle => "page-lifecycle",
+            Rule::GuardLiveness => "guard-liveness",
+            Rule::MustRelease => "must-release",
+            Rule::MetaUnusedAllow => "meta-unused-allow",
         }
     }
 }
@@ -62,13 +85,46 @@ impl fmt::Display for Finding {
     }
 }
 
+/// A finding silenced by an `allow(...)` comment, retained for reporting.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The silenced finding.
+    pub finding: Finding,
+    /// The suppression's `reason:` text, when present.
+    pub reason: Option<String>,
+}
+
+/// A function body the parser could not structure (skipped by the dataflow passes).
+#[derive(Debug, Clone)]
+pub struct ParseFailure {
+    /// The file.
+    pub file: PathBuf,
+    /// 1-based line where parsing gave up.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What the parser was stuck on.
+    pub what: String,
+}
+
+/// The full result of analyzing a set of sources.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Live findings, sorted by (file, line, col, rule id).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by suppression comments, same order.
+    pub suppressed: Vec<Suppressed>,
+    /// Function bodies the parser skipped (pinned empty by the workspace gate).
+    pub parse_errors: Vec<ParseFailure>,
+}
+
 /// How a file participates in the lints, derived from its workspace-relative path.
 struct FileClass {
     /// Library code: under a crate's `src/` (or the root `src/`), excluding `src/bin/`.
     library: bool,
     /// The file that *defines* the deprecated submit wrappers (exempt from L4).
     deprecated_home: bool,
-    /// A concurrency module whose `pub` types feed the L5 audit.
+    /// A concurrency module: feeds the L5 audit and the L6/L8 lifecycle passes.
     concurrency_module: bool,
 }
 
@@ -86,38 +142,64 @@ fn classify(path: &Path) -> FileClass {
     }
 }
 
-/// A live lock-guard binding tracked by L1.
-struct Guard {
-    name: String,
-    depth: usize,
-    line: usize,
-}
-
 /// A `pub` type declared in a concurrency module, pending L5 coverage.
 struct PubDecl {
     name: String,
     file: PathBuf,
     line: usize,
     col: usize,
-    suppressed: bool,
 }
 
-/// Check a set of `(workspace-relative path, source)` pairs and return all findings,
-/// sorted by file/line/column. The set should be the whole workspace for L5 to see
-/// the `assert_send_sync` coverage list (it lives in a test file).
+/// Check a set of `(workspace-relative path, source)` pairs and return the live
+/// findings only. Convenience wrapper over [`analyze_sources`].
 pub fn check_sources(files: &[(PathBuf, String)]) -> Vec<Finding> {
-    let mut findings = Vec::new();
+    analyze_sources(files).findings
+}
+
+/// Analyze a set of `(workspace-relative path, source)` pairs: run every pass, route
+/// suppressed findings aside, and report unused/reason-less suppressions. The set
+/// should be the whole workspace for L5 to see the `assert_send_sync` coverage list
+/// (it lives in a test file).
+pub fn analyze_sources(files: &[(PathBuf, String)]) -> Report {
+    let mut raw: Vec<Finding> = Vec::new();
     let mut decls: Vec<PubDecl> = Vec::new();
     let mut covered: Vec<String> = Vec::new();
+    let mut parse_errors: Vec<ParseFailure> = Vec::new();
+    // Per-file suppression tables with per-entry used flags, in file order.
+    let mut sup_tables: Vec<(PathBuf, Suppressions, Vec<bool>)> = Vec::new();
 
     for (path, source) in files {
         let lexed = lex(source);
-        check_file(path, &lexed, &mut findings, &mut decls, &mut covered);
+        let class = classify(path);
+        let regions = test_regions(&lexed.tokens);
+        check_tokens(path, &lexed, &class, &regions, &mut raw, &mut decls, &mut covered);
+
+        let parsed = parse(&lexed);
+        for err in &parsed.errors {
+            parse_errors.push(ParseFailure {
+                file: path.clone(),
+                line: err.span.line,
+                col: err.span.col,
+                what: err.what.clone(),
+            });
+        }
+        for function in &parsed.functions {
+            let cfg = build_cfg(function);
+            let in_test = in_regions(&regions, function.token_start);
+            push_pass(&mut raw, path, Rule::GuardLiveness, run_pass(&cfg, &GuardLiveness));
+            if class.concurrency_module && !in_test {
+                push_pass(&mut raw, path, Rule::PageLifecycle, run_pass(&cfg, &PageLifecycle));
+                push_pass(&mut raw, path, Rule::MustRelease, run_pass(&cfg, &MustRelease));
+            }
+        }
+
+        let used = vec![false; lexed.suppressions.entries.len()];
+        sup_tables.push((path.clone(), lexed.suppressions, used));
     }
 
     for decl in decls {
-        if !decl.suppressed && !covered.contains(&decl.name) {
-            findings.push(Finding {
+        if !covered.contains(&decl.name) {
+            raw.push(Finding {
                 file: decl.file,
                 line: decl.line,
                 col: decl.col,
@@ -130,8 +212,74 @@ pub fn check_sources(files: &[(PathBuf, String)]) -> Vec<Finding> {
         }
     }
 
-    findings.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    findings
+    // Suppression pipeline: every finding either survives or moves aside, marking the
+    // comment that silenced it as used. Meta findings are appended afterwards and are
+    // deliberately not suppressible.
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    for finding in raw {
+        let table = sup_tables.iter_mut().find(|(p, _, _)| p == &finding.file);
+        let hit = table.and_then(|(_, sups, used)| {
+            sups.covering(finding.line, finding.rule.id()).map(|idx| {
+                used[idx] = true;
+                sups.entries[idx].reason.clone()
+            })
+        });
+        match hit {
+            Some(reason) => suppressed.push(Suppressed { finding, reason }),
+            None => findings.push(finding),
+        }
+    }
+    for (path, sups, used) in &sup_tables {
+        for (entry, was_used) in sups.entries.iter().zip(used) {
+            if !was_used {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: entry.line,
+                    col: entry.col,
+                    rule: Rule::MetaUnusedAllow,
+                    message: format!("suppression `allow({})` matches no finding; remove it", entry.rule),
+                });
+            } else if entry.reason.is_none() {
+                findings.push(Finding {
+                    file: path.clone(),
+                    line: entry.line,
+                    col: entry.col,
+                    rule: Rule::MetaUnusedAllow,
+                    message: format!("suppression `allow({})` is missing its required `reason:` tail", entry.rule),
+                });
+            }
+        }
+    }
+
+    sort_findings(&mut findings);
+    suppressed.sort_by(|a, b| finding_key(&a.finding).cmp(&finding_key(&b.finding)));
+    Report { findings, suppressed, parse_errors }
+}
+
+fn finding_key(f: &Finding) -> (&PathBuf, usize, usize, &'static str) {
+    (&f.file, f.line, f.col, f.rule.id())
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| finding_key(a).cmp(&finding_key(b)));
+}
+
+fn push_pass(raw: &mut Vec<Finding>, path: &Path, rule: Rule, pass_findings: Vec<PassFinding>) {
+    for PassFinding { span: Span { line, col }, message } in pass_findings {
+        raw.push(Finding { file: path.to_path_buf(), line, col, rule, message });
+    }
+}
+
+/// Run one dataflow pass over every function of a single source, ungated. Used by the
+/// golden tests to exercise a pass in isolation.
+pub fn run_pass_on_source<T: Transfer>(source: &str, pass: &T) -> Vec<PassFinding> {
+    let parsed = parse(&lex(source));
+    let mut out = Vec::new();
+    for function in &parsed.functions {
+        out.extend(run_pass(&build_cfg(function), pass));
+    }
+    out
 }
 
 /// Token indices covered by `#[cfg(test)]`-gated items (the attribute's following
@@ -193,21 +341,8 @@ fn in_regions(regions: &[(usize, usize)], i: usize) -> bool {
 
 const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
-const GUARD_SOURCES: [&str; 2] = ["state", "lock"];
-const GUARD_CHAINS: [&str; 4] = ["unwrap", "expect", "unwrap_or_else", "unwrap_or_default"];
 const ORDERING_OPS: [&str; 3] = ["fetch_sub", "compare_exchange", "compare_exchange_weak"];
 const DEPRECATED_SUBMITS: [&str; 3] = ["submit", "submit_with_stop", "submit_with_sampling"];
-const PATTERN_KEYWORDS: [&str; 5] = ["mut", "ref", "Ok", "Some", "Err"];
-
-/// Is `name` one of the hot calls a pool guard must never be held across (L1)?
-fn is_hot_call(name: &str) -> bool {
-    name == "pack"
-        || name == "unpack"
-        || name.starts_with("pack_")
-        || name.starts_with("unpack_")
-        || name.starts_with("forward")
-        || name.starts_with("decode_step")
-}
 
 /// Does `field` look like a refcount (L3)?
 fn is_refcount_field(field: &str) -> bool {
@@ -221,200 +356,112 @@ fn is_refcount_field(field: &str) -> bool {
         || lower.ends_with("_rc")
 }
 
-fn check_file(
+/// The token-stream passes: L2 no-panics, L3 atomic-ordering, L4 deprecated-submit,
+/// and the L5 declaration/coverage collection.
+fn check_tokens(
     path: &Path,
     lexed: &LexedFile,
+    class: &FileClass,
+    regions: &[(usize, usize)],
     findings: &mut Vec<Finding>,
     decls: &mut Vec<PubDecl>,
     covered: &mut Vec<String>,
 ) {
-    let class = classify(path);
     let tokens = &lexed.tokens;
-    let sup = &lexed.suppressions;
-    let regions = test_regions(tokens);
 
     let push = |findings: &mut Vec<Finding>, tok: &Token, rule: Rule, message: String| {
-        if !sup.allows(tok.line, rule.id()) {
-            findings.push(Finding { file: path.to_path_buf(), line: tok.line, col: tok.col, rule, message });
-        }
+        findings.push(Finding { file: path.to_path_buf(), line: tok.line, col: tok.col, rule, message });
     };
-
-    let mut depth = 0usize;
-    let mut guards: Vec<Guard> = Vec::new();
 
     for i in 0..tokens.len() {
         let tok = &tokens[i];
-        match &tok.kind {
-            TokenKind::Punct('{') => depth += 1,
-            TokenKind::Punct('}') => {
-                depth = depth.saturating_sub(1);
-                guards.retain(|g| g.depth <= depth);
+        let Some(name) = tok.ident() else { continue };
+        let in_test = in_regions(regions, i);
+        let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+        let next_paren = tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let next_bang = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+
+        // L2: panic-adjacent constructs in library code.
+        if class.library && !in_test {
+            if prev_dot && next_paren && PANIC_METHODS.contains(&name) {
+                push(
+                    findings,
+                    tok,
+                    Rule::NoPanics,
+                    format!("`.{name}()` in library code; handle the None/Err or document the invariant"),
+                );
             }
-            TokenKind::Ident(name) => {
-                let in_test = in_regions(&regions, i);
-                let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
-                let next_paren = tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
-                let next_bang = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if next_bang && PANIC_MACROS.contains(&name) {
+                push(
+                    findings,
+                    tok,
+                    Rule::NoPanics,
+                    format!("`{name}!` in library code; return an error or document the invariant"),
+                );
+            }
+        }
 
-                // L2: panic-adjacent constructs in library code.
-                if class.library && !in_test {
-                    if prev_dot && next_paren && PANIC_METHODS.contains(&name.as_str()) {
-                        push(
-                            findings,
-                            tok,
-                            Rule::NoPanics,
-                            format!("`.{name}()` in library code; handle the None/Err or document the invariant"),
-                        );
-                    }
-                    if next_bang && PANIC_MACROS.contains(&name.as_str()) {
-                        push(
-                            findings,
-                            tok,
-                            Rule::NoPanics,
-                            format!("`{name}!` in library code; return an error or document the invariant"),
-                        );
-                    }
-                }
-
-                // L1: track guard bindings and flag hot calls while one is live.
-                if name == "let" {
-                    if let Some(guard) = guard_binding(tokens, i) {
-                        guards.push(Guard { name: guard.0, depth, line: guard.1 });
-                    }
-                } else if name == "drop" && next_paren {
-                    if let Some(arg) = tokens.get(i + 2).and_then(Token::ident) {
-                        if tokens.get(i + 3).is_some_and(|t| t.is_punct(')')) {
-                            guards.retain(|g| g.name != arg);
-                        }
-                    }
-                } else if next_paren
-                    && is_hot_call(name)
-                    && tokens.get(i.wrapping_sub(1)).and_then(Token::ident).is_none_or(|p| p != "fn")
-                {
-                    if let Some(guard) = guards.last() {
-                        push(
-                            findings,
-                            tok,
-                            Rule::LockAcrossCall,
-                            format!(
-                                "pool guard `{}` (acquired on line {}) is still live across this call to `{name}`; \
-                                 drop it before pack/unpack/forward/decode hot paths",
-                                guard.name, guard.line
-                            ),
-                        );
-                    }
-                }
-
-                // L3: relaxed ordering on refcount read-modify-writes.
-                if prev_dot && next_paren && ORDERING_OPS.contains(&name.as_str()) && i >= 2 {
-                    if let Some(field) = tokens[i - 2].ident() {
-                        if is_refcount_field(field) && relaxed_in_args(tokens, i + 1) {
-                            push(
-                                findings,
-                                tok,
-                                Rule::AtomicOrdering,
-                                format!(
-                                    "`{field}.{name}` uses `Ordering::Relaxed`; refcount decrements need \
-                                     Release/Acquire for the drop-to-pool path"
-                                ),
-                            );
-                        }
-                    }
-                }
-
-                // L4: deprecated submit wrappers (method calls only), outside their home.
-                if !class.deprecated_home && prev_dot && next_paren && DEPRECATED_SUBMITS.contains(&name.as_str()) {
+        // L3: relaxed ordering on refcount read-modify-writes.
+        if prev_dot && next_paren && ORDERING_OPS.contains(&name) && i >= 2 {
+            if let Some(field) = tokens[i - 2].ident() {
+                if is_refcount_field(field) && relaxed_in_args(tokens, i + 1) {
                     push(
                         findings,
                         tok,
-                        Rule::DeprecatedSubmit,
-                        format!("deprecated wrapper `.{name}()`; use `submit_with(prompt, SubmitOptions::new(..))`"),
+                        Rule::AtomicOrdering,
+                        format!(
+                            "`{field}.{name}` uses `Ordering::Relaxed`; refcount decrements need \
+                             Release/Acquire for the drop-to-pool path"
+                        ),
                     );
                 }
+            }
+        }
 
-                // L5: collect pub type declarations and assert_send_sync coverage.
-                if class.concurrency_module
-                    && !in_test
-                    && (name == "struct" || name == "enum")
-                    && i >= 1
-                    && tokens[i - 1].ident() == Some("pub")
-                {
-                    if let Some(decl) = tokens.get(i + 1) {
-                        if let Some(type_name) = decl.ident() {
-                            decls.push(PubDecl {
-                                name: type_name.to_string(),
-                                file: path.to_path_buf(),
-                                line: decl.line,
-                                col: decl.col,
-                                suppressed: sup.allows(decl.line, Rule::SendSyncAudit.id()),
-                            });
-                        }
-                    }
-                }
-                if name == "assert_send_sync"
-                    && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
-                    && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
-                    && tokens.get(i + 3).is_some_and(|t| t.is_punct('<'))
-                {
-                    if let Some(covered_name) = tokens.get(i + 4).and_then(Token::ident) {
-                        covered.push(covered_name.to_string());
-                    }
+        // L4: deprecated submit wrappers (method calls only), outside their home.
+        if !class.deprecated_home && prev_dot && next_paren && DEPRECATED_SUBMITS.contains(&name) {
+            push(
+                findings,
+                tok,
+                Rule::DeprecatedSubmit,
+                format!("deprecated wrapper `.{name}()`; use `submit_with(prompt, SubmitOptions::new(..))`"),
+            );
+        }
+
+        // L5: collect pub type declarations and assert_send_sync coverage.
+        if class.concurrency_module
+            && !in_test
+            && (name == "struct" || name == "enum")
+            && i >= 1
+            && tokens[i - 1].ident() == Some("pub")
+        {
+            if let Some(decl) = tokens.get(i + 1) {
+                if let Some(type_name) = decl.ident() {
+                    decls.push(PubDecl {
+                        name: type_name.to_string(),
+                        file: path.to_path_buf(),
+                        line: decl.line,
+                        col: decl.col,
+                    });
                 }
             }
-            _ => {}
+        }
+        if name == "assert_send_sync"
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('<'))
+        {
+            if let Some(covered_name) = tokens.get(i + 4).and_then(Token::ident) {
+                covered.push(covered_name.to_string());
+            }
         }
     }
 }
 
-/// Scan a `let` statement starting at token `start` (the `let`). If its initializer
-/// is a terminal `.state()` / `.lock()` call (optionally chained through unwrap-style
-/// adapters), return the bound name and the binding's line.
-fn guard_binding(tokens: &[Token], start: usize) -> Option<(String, usize)> {
-    // Find the binding name: first identifier after `let` that is not a pattern keyword.
-    let mut i = start + 1;
-    let mut bound: Option<(String, usize)> = None;
-    while i < tokens.len() && !tokens[i].is_punct('=') && !tokens[i].is_punct(';') {
-        if let Some(name) = tokens[i].ident() {
-            if bound.is_none() && !PATTERN_KEYWORDS.contains(&name) {
-                bound = Some((name.to_string(), tokens[i].line));
-            }
-        }
-        i += 1;
-    }
-    let bound = bound?;
-    if !tokens.get(i)?.is_punct('=') {
-        return None;
-    }
-
-    // Walk the initializer looking for `.state(` / `.lock(`.
-    let mut j = i + 1;
-    let mut call_end: Option<usize> = None;
-    while j < tokens.len() && !tokens[j].is_punct(';') {
-        let is_guard_call = tokens[j].is_punct('.')
-            && tokens.get(j + 1).and_then(Token::ident).is_some_and(|n| GUARD_SOURCES.contains(&n))
-            && tokens.get(j + 2).is_some_and(|t| t.is_punct('('));
-        if is_guard_call {
-            call_end = close_paren(tokens, j + 2);
-            break;
-        }
-        j += 1;
-    }
-    let mut k = call_end? + 1;
-
-    // Allow unwrap-style chains after the guard call; anything else (e.g. `.free.len()`)
-    // means the guard is consumed inside the initializer and never bound.
-    while tokens.get(k).is_some_and(|t| t.is_punct('.')) {
-        let name = tokens.get(k + 1).and_then(Token::ident)?;
-        if !GUARD_CHAINS.contains(&name) || !tokens.get(k + 2).is_some_and(|t| t.is_punct('(')) {
-            return None;
-        }
-        k = close_paren(tokens, k + 2)? + 1;
-    }
-    if tokens.get(k).is_some_and(|t| t.is_punct(';')) {
-        Some(bound)
-    } else {
-        None
-    }
+/// Does the argument list opening at `open` contain the identifier `Relaxed`?
+fn relaxed_in_args(tokens: &[Token], open: usize) -> bool {
+    let Some(end) = close_paren(tokens, open) else { return false };
+    tokens[open..=end].iter().any(|t| t.ident() == Some("Relaxed"))
 }
 
 /// Index of the `)` matching the `(` at `open`.
@@ -431,10 +478,4 @@ fn close_paren(tokens: &[Token], open: usize) -> Option<usize> {
         }
     }
     None
-}
-
-/// Does the argument list opening at `open` contain the identifier `Relaxed`?
-fn relaxed_in_args(tokens: &[Token], open: usize) -> bool {
-    let Some(end) = close_paren(tokens, open) else { return false };
-    tokens[open..=end].iter().any(|t| t.ident() == Some("Relaxed"))
 }

@@ -1,7 +1,9 @@
-//! CLI for the workspace lints: `cargo run -p mx-analyze [root]`.
+//! CLI for the workspace lints: `cargo run -p mx-analyze -- [--json] [root]`.
 //!
-//! Exits 0 when the tree is clean, 1 when any lint fires (one `file:line:col:
-//! rule-id: message` line per finding), 2 on I/O errors.
+//! Human mode exits 0 when the tree is clean (printing any suppressed findings with
+//! their reasons as notes), 1 when any lint fires (one `file:line:col: rule-id:
+//! message` line per finding), 2 on I/O errors. `--json` prints the stable
+//! machine-readable report (see [`mx_analyze::render_json`]) with the same exit codes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,28 +34,58 @@ fn is_workspace_root(dir: &std::path::Path) -> bool {
 }
 
 fn main() -> ExitCode {
-    let root = match workspace_root(std::env::args().nth(1)) {
+    let mut json = false;
+    let mut root_arg = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else if root_arg.is_none() {
+            root_arg = Some(arg);
+        } else {
+            eprintln!("mx-analyze: unexpected argument `{arg}`");
+            return ExitCode::from(2);
+        }
+    }
+    let root = match workspace_root(root_arg) {
         Some(root) => root,
         None => {
             eprintln!("mx-analyze: cannot locate the workspace root; pass it as the first argument");
             return ExitCode::from(2);
         }
     };
-    match mx_analyze::check_workspace(&root) {
-        Ok((findings, scanned)) if findings.is_empty() => {
-            println!("mx-analyze: {scanned} files clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
-        Ok((findings, scanned)) => {
-            for finding in &findings {
-                println!("{finding}");
-            }
-            eprintln!("mx-analyze: {} finding(s) across {scanned} files", findings.len());
-            ExitCode::FAILURE
-        }
+    let (report, scanned) = match mx_analyze::check_workspace(&root) {
+        Ok(result) => result,
         Err(err) => {
             eprintln!("mx-analyze: {err}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if json {
+        print!("{}", mx_analyze::render_json(&report, scanned));
+        return if report.findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    for s in &report.suppressed {
+        let f = &s.finding;
+        println!(
+            "note: {}:{}:{}: {} suppressed (reason: {})",
+            f.file.display(),
+            f.line,
+            f.col,
+            f.rule.id(),
+            s.reason.as_deref().unwrap_or("<missing>")
+        );
+    }
+    for e in &report.parse_errors {
+        eprintln!("warning: {}:{}:{}: parse skipped a function body: {}", e.file.display(), e.line, e.col, e.what);
+    }
+    if report.findings.is_empty() {
+        println!("mx-analyze: {scanned} files clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        eprintln!("mx-analyze: {} finding(s) across {scanned} files", report.findings.len());
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,1242 @@
+//! A dependency-free recursive-descent parser over the lexed token stream.
+//!
+//! The parser recovers every `fn` body in a file as a [`Function`] with a structured
+//! [`Block`]/[`Expr`] tree (see [`crate::ast`]); everything between function bodies —
+//! type definitions, impl headers, use trees — is skipped by token scanning. It is
+//! *loose* by design: operator precedence is flattened into evaluation order, patterns
+//! reduce to the names they bind, types are skipped with bracket matching. What must be
+//! exact (and is): block structure, `if`/`match`/loop shape, call and method-call
+//! chains, `return`/`break`/`continue`/`?` exits, and the spans of all of the above.
+//!
+//! The parser never panics; a body it cannot make sense of is reported in
+//! [`ParsedFile::errors`] (and skipped), which the workspace gate pins to empty so a
+//! parser gap can never silently disable the dataflow rules.
+
+use crate::ast::{Arm, Block, Expr, Function, Span, Stmt};
+use crate::lexer::{LexedFile, Token, TokenKind};
+
+/// A function body the parser could not structure.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// Where parsing gave up.
+    pub span: Span,
+    /// What the parser was stuck on.
+    pub what: String,
+}
+
+/// All functions parsed from one file, plus any bodies that failed to parse.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Every parsed `fn` (top-level, in impls/traits, and nested in other fns).
+    pub functions: Vec<Function>,
+    /// Bodies the parser gave up on (skipped, not analyzed).
+    pub errors: Vec<ParseError>,
+}
+
+/// Maximum expression/block nesting before the parser bails out of a body.
+const MAX_DEPTH: usize = 200;
+
+/// Identifiers that never *bind* a name when they appear in a pattern.
+const PATTERN_KEYWORDS: [&str; 7] = ["mut", "ref", "box", "move", "in", "if", "_"];
+
+/// Method names that merely adapt a guard value without releasing it; peeled when
+/// resolving a binding's terminal initializer call.
+const ADAPTER_CHAIN: [&str; 4] = ["unwrap", "expect", "unwrap_or_else", "unwrap_or_default"];
+
+/// Parse every function body in `lexed`.
+pub fn parse(lexed: &LexedFile) -> ParsedFile {
+    let mut p = Parser { tokens: &lexed.tokens, pos: 0, depth: 0, functions: Vec::new(), errors: Vec::new() };
+    let mut i = 0usize;
+    while i < p.tokens.len() {
+        if p.tokens[i].ident() == Some("fn") && p.tokens.get(i + 1).and_then(Token::ident).is_some() {
+            i = p.parse_fn_at(i) + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ParsedFile { functions: p.functions, errors: p.errors }
+}
+
+/// Resolve the *terminal call name* of a binding initializer: peels `?`, parens,
+/// and unwrap-style adapter methods, then returns the outermost call or method name.
+/// `let g = pool.state().unwrap();` resolves to `state`; `let n = pool.state().len();`
+/// resolves to `len`.
+pub fn terminal_call_name(init: &Expr) -> Option<&str> {
+    match init {
+        Expr::Question { inner, .. } | Expr::Borrow { inner } => terminal_call_name(inner),
+        Expr::Seq(items) if items.len() == 1 => terminal_call_name(&items[0]),
+        Expr::MethodCall { recv, name, .. } => {
+            if ADAPTER_CHAIN.contains(&name.as_str()) {
+                terminal_call_name(recv)
+            } else {
+                Some(name)
+            }
+        }
+        Expr::Call { callee, .. } => callee.as_deref(),
+        _ => None,
+    }
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    depth: usize,
+    functions: Vec<Function>,
+    errors: Vec<ParseError>,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Token> {
+        self.tokens.get(self.pos + ahead)
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek(0).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn punct_at(&self, ahead: usize, c: char) -> bool {
+        self.peek(ahead).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn ident_at(&self, ahead: usize) -> Option<&'a str> {
+        self.peek(ahead).and_then(Token::ident)
+    }
+
+    fn span(&self) -> Span {
+        self.peek(0).map_or(Span { line: 0, col: 0 }, |t| Span { line: t.line, col: t.col })
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn err(&self, what: &str) -> ParseError {
+        ParseError { span: self.span(), what: what.to_string() }
+    }
+
+    /// Are tokens at `self.pos + ahead` and the one after it directly adjacent in the
+    /// source (multi-char operators like `::`, `=>`, `..` lex as adjacent puncts)?
+    fn adjacent(&self, ahead: usize) -> bool {
+        match (self.peek(ahead), self.peek(ahead + 1)) {
+            (Some(a), Some(b)) => a.line == b.line && a.col + 1 == b.col,
+            _ => false,
+        }
+    }
+
+    fn at_path_sep(&self) -> bool {
+        self.at_punct(':') && self.punct_at(1, ':') && self.adjacent(0)
+    }
+
+    /// Parse the `fn` whose keyword sits at token index `start`; returns the index of
+    /// the last token consumed (the body's `}`, or the `;` of a body-less signature).
+    fn parse_fn_at(&mut self, start: usize) -> usize {
+        let name_tok = &self.tokens[start + 1];
+        let name = name_tok.ident().unwrap_or_default().to_string();
+        let span = Span { line: name_tok.line, col: name_tok.col };
+        // Scan the signature (generics, params, return type, where clause) for the
+        // body's `{` — or a `;` meaning there is no body (trait method declaration).
+        let mut j = start + 2;
+        let mut paren = 0usize;
+        let mut bracket = 0usize;
+        while let Some(tok) = self.tokens.get(j) {
+            match tok.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+                TokenKind::Punct('[') => bracket += 1,
+                TokenKind::Punct(']') => bracket = bracket.saturating_sub(1),
+                TokenKind::Punct(';') if paren == 0 && bracket == 0 => return j,
+                TokenKind::Punct('{') if paren == 0 && bracket == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= self.tokens.len() {
+            return self.tokens.len();
+        }
+        self.pos = j;
+        // Give the nested body a fresh nesting budget, restoring the caller's count
+        // afterwards (a nested fn is parsed from within the outer fn's block).
+        let saved_depth = self.depth;
+        self.depth = 0;
+        let parsed = self.parse_block();
+        self.depth = saved_depth;
+        match parsed {
+            Ok(body) => {
+                let end = self.pos.saturating_sub(1);
+                self.functions.push(Function { name, span, token_start: start, body });
+                end
+            }
+            Err(e) => {
+                self.errors.push(e);
+                // Recover by brace-matching from the body's `{`.
+                let mut depth = 0usize;
+                let mut k = j;
+                while let Some(tok) = self.tokens.get(k) {
+                    if tok.is_punct('{') {
+                        depth += 1;
+                    } else if tok.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                k.min(self.tokens.len())
+            }
+        }
+    }
+
+    /// Skip one `#[...]` / `#![...]` attribute if the cursor is on `#`.
+    fn skip_attribute(&mut self) {
+        if !self.at_punct('#') {
+            return;
+        }
+        self.bump();
+        if self.at_punct('!') {
+            self.bump();
+        }
+        if self.at_punct('[') {
+            self.skip_balanced('[', ']');
+        }
+    }
+
+    /// Skip a balanced `open...close` region, starting on `open`.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        while let Some(tok) = self.peek(0) {
+            if tok.is_punct(open) {
+                depth += 1;
+            } else if tok.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip a generics region starting on `<`, tolerating `->` arrows and nested
+    /// parens/brackets inside.
+    fn skip_angles(&mut self) {
+        let mut depth = 0usize;
+        while let Some(tok) = self.peek(0) {
+            match tok.kind {
+                TokenKind::Punct('-') if self.punct_at(1, '>') => {
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                TokenKind::Punct('(') => {
+                    self.skip_balanced('(', ')');
+                    continue;
+                }
+                TokenKind::Punct('[') => {
+                    self.skip_balanced('[', ']');
+                    continue;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip one type (after `as`, a closure `->`, ...). Deliberately *narrow*: pointer
+    /// and reference prefixes, then either a bracketed group or a path with generics
+    /// (`<` only when flush against its segment). `x as f32 * 0.1` must leave the `*`
+    /// for the expression parser — a bare `*` or `(` after the first segment is
+    /// arithmetic, not type syntax.
+    fn skip_type(&mut self) {
+        loop {
+            if self.at_punct('*') && matches!(self.ident_at(1), Some("const") | Some("mut")) {
+                self.bump();
+                self.bump();
+            } else if self.at_punct('&') {
+                self.bump();
+                if matches!(self.peek(0).map(|t| &t.kind), Some(TokenKind::Lifetime)) {
+                    self.bump();
+                }
+                if self.ident_at(0) == Some("mut") {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        // Tuple / slice / array type group.
+        if self.at_punct('(') {
+            self.skip_balanced('(', ')');
+            return;
+        }
+        if self.at_punct('[') {
+            self.skip_balanced('[', ']');
+            return;
+        }
+        // Path: segments with flush generics; `dyn`/`impl` qualifiers ride along as
+        // ordinary segments, and `fn(..) -> T` pointer types get their paren + arrow.
+        loop {
+            let Some(tok) = self.peek(0) else { return };
+            let TokenKind::Ident(name) = &tok.kind else { return };
+            let ident_end = (tok.line, tok.col + name.chars().count());
+            let is_fn_ptr = name == "fn";
+            self.bump();
+            if is_fn_ptr && self.at_punct('(') {
+                self.skip_balanced('(', ')');
+                if self.at_punct('-') && self.punct_at(1, '>') {
+                    self.bump();
+                    self.bump();
+                    self.skip_type();
+                }
+                return;
+            }
+            if self.peek(0).is_some_and(|t| t.is_punct('<')) {
+                let at = self.span();
+                if (at.line, at.col) == ident_end {
+                    self.skip_angles();
+                }
+            }
+            if self.at_path_sep() && self.ident_at(2).is_some() {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Collect the names bound by a pattern, scanning until one of the stop conditions
+    /// holds at depth 0: `=` (not `==`/`=>`), `;`, the identifier `in` (for-loops), or
+    /// `=>` when `arrow_stops` (match arms; `if` then begins a guard and also stops).
+    /// Returns (bound names, the stop kind).
+    fn scan_pattern(&mut self, stop_eq: bool, arrow_stops: bool) -> (Vec<(String, Span)>, PatternStop) {
+        let mut bound = Vec::new();
+        let mut paren = 0usize;
+        let mut bracket = 0usize;
+        let mut brace = 0usize;
+        while let Some(tok) = self.peek(0) {
+            let at_top = paren == 0 && bracket == 0 && brace == 0;
+            match &tok.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') if at_top => return (bound, PatternStop::Other),
+                TokenKind::Punct(')') => paren -= 1,
+                TokenKind::Punct('[') => bracket += 1,
+                TokenKind::Punct(']') => bracket = bracket.saturating_sub(1),
+                TokenKind::Punct('{') => brace += 1,
+                TokenKind::Punct('}') if at_top => return (bound, PatternStop::Other),
+                TokenKind::Punct('}') => brace -= 1,
+                TokenKind::Punct(';') if at_top => return (bound, PatternStop::Semi),
+                TokenKind::Punct(':') if at_top && !(self.punct_at(1, ':') && self.adjacent(0)) => {
+                    return (bound, PatternStop::TypeAnnotation);
+                }
+                TokenKind::Punct(':') if self.punct_at(1, ':') && self.adjacent(0) => {
+                    self.bump();
+                }
+                TokenKind::Punct('=') if arrow_stops && self.punct_at(1, '>') && self.adjacent(0) && at_top => {
+                    return (bound, PatternStop::Arrow);
+                }
+                TokenKind::Punct('=') if stop_eq && at_top && !self.punct_at(1, '=') => {
+                    return (bound, PatternStop::Eq);
+                }
+                TokenKind::Ident(name) => match name.as_str() {
+                    "in" if at_top => return (bound, PatternStop::In),
+                    "if" if arrow_stops && at_top => return (bound, PatternStop::Guard),
+                    _ => {
+                        // `name::` is a path segment, `name(` / `name{` a variant or
+                        // struct pattern, and `name:` inside braces a struct-pattern
+                        // field key — none of those bind `name` itself.
+                        let path_segment = self.punct_at(1, ':') && self.punct_at(2, ':');
+                        let field_key = brace > 0 && self.punct_at(1, ':') && !self.punct_at(2, ':');
+                        let not_a_binding = self.punct_at(1, '(') || self.punct_at(1, '{') || path_segment || field_key;
+                        if binds_name(name) && !not_a_binding {
+                            bound.push((name.clone(), Span { line: tok.line, col: tok.col }));
+                        }
+                    }
+                },
+                _ => {}
+            }
+            self.bump();
+        }
+        (bound, PatternStop::Other)
+    }
+
+    /// Skip a `let` type annotation: from the `:` to the `=` or `;` that follows it at
+    /// bracket/angle depth 0 (associated-type `=`s inside generics are depth-guarded).
+    fn skip_annotation(&mut self) {
+        self.bump(); // the `:`
+        let mut angle = 0usize;
+        let mut paren = 0usize;
+        let mut bracket = 0usize;
+        while let Some(tok) = self.peek(0) {
+            match tok.kind {
+                TokenKind::Punct('-') if self.punct_at(1, '>') => {
+                    self.bump();
+                }
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle = angle.saturating_sub(1),
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+                TokenKind::Punct('[') => bracket += 1,
+                TokenKind::Punct(']') => bracket = bracket.saturating_sub(1),
+                TokenKind::Punct('=') | TokenKind::Punct(';') if angle == 0 && paren == 0 && bracket == 0 => return,
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip an item statement (`use`/`type`/`const`/`static`): everything up to the
+    /// terminating `;` at brace/paren/bracket depth 0.
+    fn skip_to_semi(&mut self) {
+        let mut paren = 0usize;
+        let mut bracket = 0usize;
+        let mut brace = 0usize;
+        while let Some(tok) = self.peek(0) {
+            match tok.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+                TokenKind::Punct('[') => bracket += 1,
+                TokenKind::Punct(']') => bracket = bracket.saturating_sub(1),
+                TokenKind::Punct('{') => brace += 1,
+                TokenKind::Punct('}') => {
+                    if brace == 0 {
+                        return;
+                    }
+                    brace -= 1;
+                }
+                TokenKind::Punct(';') if paren == 0 && bracket == 0 && brace == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip a nested item with a braced body (`struct`/`enum`/`impl`/`mod`/`trait`):
+    /// to the first depth-0 `;`, or over the first balanced `{...}`.
+    fn skip_item(&mut self) {
+        while let Some(tok) = self.peek(0) {
+            match tok.kind {
+                TokenKind::Punct(';') => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::Punct('{') => {
+                    self.skip_balanced('{', '}');
+                    return;
+                }
+                TokenKind::Punct('}') => return,
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn parse_block(&mut self) -> PResult<Block> {
+        if !self.at_punct('{') {
+            return Err(self.err("expected `{`"));
+        }
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.bump();
+        let mut stmts = Vec::new();
+        let mut tail = None;
+        loop {
+            let iter_start = self.pos;
+            if self.at_punct('}') {
+                let close = self.span();
+                self.bump();
+                self.depth -= 1;
+                return Ok(Block { stmts, tail: tail.take(), close });
+            }
+            let Some(_) = self.peek(0) else {
+                return Err(self.err("unclosed block"));
+            };
+            // A tail expression must be the last thing in the block; if more code
+            // follows, it was an ordinary (block-like) statement.
+            if let Some(prev_tail) = tail.take() {
+                stmts.push(Stmt::Expr(*prev_tail));
+            }
+            if self.at_punct('#') {
+                self.skip_attribute();
+                continue;
+            }
+            if self.at_punct(';') {
+                self.bump();
+                continue;
+            }
+            match self.ident_at(0) {
+                Some("let") => {
+                    let stmt = self.parse_let()?;
+                    stmts.push(stmt);
+                }
+                Some("use") | Some("type") | Some("const") | Some("static") | Some("extern") => {
+                    self.skip_to_semi();
+                }
+                Some("struct") | Some("enum") | Some("union") | Some("trait") | Some("impl") | Some("mod")
+                | Some("macro_rules") => {
+                    self.skip_item();
+                }
+                Some("pub") => {
+                    self.bump();
+                    if self.at_punct('(') {
+                        self.skip_balanced('(', ')');
+                    }
+                }
+                Some("fn") if self.ident_at(1).is_some() => {
+                    let end = self.parse_fn_at(self.pos);
+                    self.pos = end + 1;
+                }
+                Some("unsafe") if self.ident_at(1) == Some("fn") => {
+                    self.bump();
+                }
+                _ => {
+                    let e = self.parse_expr(false)?;
+                    if self.at_punct(';') {
+                        self.bump();
+                        stmts.push(Stmt::Expr(e));
+                    } else if self.at_punct('}') {
+                        tail = Some(Box::new(e));
+                    } else {
+                        stmts.push(Stmt::Expr(e));
+                    }
+                }
+            }
+            if self.pos == iter_start {
+                // Defensive progress guarantee: never loop on a token we cannot place.
+                return Err(self.err("stuck in block"));
+            }
+        }
+    }
+
+    fn parse_let(&mut self) -> PResult<Stmt> {
+        self.bump(); // `let`
+        let (names, mut stop) = self.scan_pattern(true, false);
+        if stop == PatternStop::TypeAnnotation {
+            self.skip_annotation();
+            stop = if self.at_punct('=') { PatternStop::Eq } else { PatternStop::Semi };
+        }
+        let mut init = None;
+        let mut else_block = None;
+        if stop == PatternStop::Eq {
+            self.bump(); // `=`
+            init = Some(self.parse_expr(false)?);
+            if self.ident_at(0) == Some("else") {
+                self.bump();
+                else_block = Some(self.parse_block()?);
+            }
+        }
+        if self.at_punct(';') {
+            self.bump();
+        }
+        Ok(Stmt::Let { names, init, else_block })
+    }
+
+    fn parse_expr(&mut self, no_struct: bool) -> PResult<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("expression nesting too deep"));
+        }
+        let result = self.parse_expr_inner(no_struct);
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_expr_inner(&mut self, no_struct: bool) -> PResult<Expr> {
+        let mut items = Vec::new();
+        // Leading range: `..end`, `..=end`, or a bare `..` (slice-all, struct update).
+        if self.at_punct('.') && self.punct_at(1, '.') && self.adjacent(0) {
+            self.bump();
+            self.bump();
+            if self.at_punct('=') {
+                self.bump();
+            }
+            if !self.expr_follows(no_struct) {
+                return Ok(Expr::Unit);
+            }
+            items.push(self.parse_unary(no_struct)?);
+        } else {
+            let first = self.parse_unary(no_struct)?;
+            items.push(first);
+        }
+        loop {
+            if self.ident_at(0) == Some("as") {
+                self.bump();
+                self.skip_type();
+                continue;
+            }
+            // Range operator: `..` / `..=`, possibly with no right-hand side.
+            if self.at_punct('.') && self.punct_at(1, '.') && self.adjacent(0) {
+                self.bump();
+                self.bump();
+                if self.at_punct('=') {
+                    self.bump();
+                }
+                if self.expr_follows(no_struct) {
+                    let rhs = self.parse_unary(no_struct)?;
+                    items.push(rhs);
+                }
+                continue;
+            }
+            if !self.at_binary_op() {
+                break;
+            }
+            self.consume_op_run();
+            let rhs = self.parse_unary(no_struct)?;
+            items.push(rhs);
+        }
+        Ok(if items.len() == 1 { items.swap_remove(0) } else { Expr::Seq(items) })
+    }
+
+    /// Is the cursor on a binary/assignment operator (never `=>`, `->`, or `..`)?
+    fn at_binary_op(&self) -> bool {
+        let Some(tok) = self.peek(0) else { return false };
+        let TokenKind::Punct(c) = tok.kind else { return false };
+        match c {
+            '+' | '-' | '*' | '/' | '%' | '^' | '&' | '|' | '<' | '>' => {
+                !(c == '-' && self.punct_at(1, '>') && self.adjacent(0))
+            }
+            '=' => !(self.punct_at(1, '>') && self.adjacent(0)),
+            '!' => self.punct_at(1, '=') && self.adjacent(0),
+            _ => false,
+        }
+    }
+
+    /// Consume a maximal run of adjacent operator punctuation (`&&`, `<<=`, `==`, ...).
+    fn consume_op_run(&mut self) {
+        const OPS: &str = "+-*/%^&|<>=!";
+        let mut len = 0usize;
+        while len < 3 {
+            let Some(tok) = self.peek(0) else { return };
+            let TokenKind::Punct(c) = tok.kind else { return };
+            if !OPS.contains(c) {
+                return;
+            }
+            // `a == -b`: only adjacent puncts fuse into one operator.
+            if len > 0 && !matches!(c, '=' | '&' | '|' | '<' | '>') {
+                return;
+            }
+            let adjacent_next = self.adjacent(0);
+            self.bump();
+            len += 1;
+            if !adjacent_next {
+                return;
+            }
+        }
+    }
+
+    /// Could a new expression begin at the cursor (for optional `return`/`break`/range
+    /// operands)?
+    fn expr_follows(&self, no_struct: bool) -> bool {
+        let Some(tok) = self.peek(0) else { return false };
+        match &tok.kind {
+            TokenKind::Ident(name) => name != "else",
+            TokenKind::Literal => true,
+            TokenKind::Lifetime => true,
+            TokenKind::Punct(c) => match c {
+                '(' | '[' | '&' | '*' | '!' | '-' | '|' => true,
+                '{' => !no_struct,
+                _ => false,
+            },
+        }
+    }
+
+    fn parse_unary(&mut self, no_struct: bool) -> PResult<Expr> {
+        match self.peek(0).map(|t| &t.kind) {
+            Some(TokenKind::Punct('&')) => {
+                self.bump();
+                if self.at_punct('&') {
+                    self.bump();
+                }
+                if self.ident_at(0) == Some("mut") {
+                    self.bump();
+                }
+                Ok(Expr::Borrow { inner: Box::new(self.parse_unary(no_struct)?) })
+            }
+            Some(TokenKind::Punct('*')) | Some(TokenKind::Punct('-')) | Some(TokenKind::Punct('!')) => {
+                self.bump();
+                Ok(Expr::Borrow { inner: Box::new(self.parse_unary(no_struct)?) })
+            }
+            _ => {
+                let primary = self.parse_primary(no_struct)?;
+                self.parse_postfix(primary)
+            }
+        }
+    }
+
+    fn parse_postfix(&mut self, mut e: Expr) -> PResult<Expr> {
+        loop {
+            if self.at_punct('.') {
+                // `..` is a range operator, not postfix.
+                if self.punct_at(1, '.') && self.adjacent(0) {
+                    return Ok(e);
+                }
+                match self.peek(1).map(|t| &t.kind) {
+                    Some(TokenKind::Ident(name)) => {
+                        let span = self.peek(1).map_or_else(|| self.span(), |t| Span { line: t.line, col: t.col });
+                        let name = name.clone();
+                        self.bump(); // `.`
+                        self.bump(); // the name
+                        if self.at_path_sep() && self.punct_at(2, '<') {
+                            self.bump();
+                            self.bump();
+                            self.skip_angles(); // `.collect::<Vec<_>>`
+                        }
+                        if self.at_punct('(') {
+                            let args = self.parse_args()?;
+                            e = Expr::MethodCall { recv: Box::new(e), name, span, args };
+                        } else {
+                            e = Expr::Field { base: Box::new(e) };
+                        }
+                    }
+                    Some(TokenKind::Literal) => {
+                        self.bump();
+                        self.bump();
+                        e = Expr::Field { base: Box::new(e) };
+                    }
+                    _ => return Ok(e),
+                }
+            } else if self.at_punct('(') {
+                let span = self.span();
+                let args = self.parse_args()?;
+                e = Expr::Call { callee: None, span, base: Some(Box::new(e)), args };
+            } else if self.at_punct('[') {
+                self.bump();
+                let index = if self.at_punct(']') { Expr::Unit } else { self.parse_expr(false)? };
+                if self.at_punct(']') {
+                    self.bump();
+                }
+                e = Expr::Index { base: Box::new(e), index: Box::new(index) };
+            } else if self.at_punct('?') {
+                let span = self.span();
+                self.bump();
+                e = Expr::Question { inner: Box::new(e), span };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    /// Parse a parenthesized, comma-separated argument list, starting on `(`.
+    fn parse_args(&mut self) -> PResult<Vec<Expr>> {
+        self.bump(); // `(`
+        let mut args = Vec::new();
+        loop {
+            if self.at_punct(')') {
+                self.bump();
+                return Ok(args);
+            }
+            if self.peek(0).is_none() {
+                return Err(self.err("unclosed argument list"));
+            }
+            args.push(self.parse_expr(false)?);
+            if self.at_punct(',') {
+                self.bump();
+            } else if !self.at_punct(')') {
+                return Err(self.err("expected `,` or `)` in arguments"));
+            }
+        }
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> PResult<Expr> {
+        let Some(tok) = self.peek(0) else {
+            return Err(self.err("expected expression"));
+        };
+        match &tok.kind {
+            TokenKind::Literal => {
+                self.bump();
+                Ok(Expr::Unit)
+            }
+            TokenKind::Lifetime => {
+                // `'label: loop { .. }`.
+                self.bump();
+                if self.at_punct(':') {
+                    self.bump();
+                    return self.parse_primary(no_struct);
+                }
+                Ok(Expr::Unit)
+            }
+            TokenKind::Punct('(') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    if self.at_punct(')') {
+                        self.bump();
+                        break;
+                    }
+                    if self.peek(0).is_none() {
+                        return Err(self.err("unclosed parenthesis"));
+                    }
+                    items.push(self.parse_expr(false)?);
+                    if self.at_punct(',') {
+                        self.bump();
+                    }
+                }
+                Ok(if items.len() == 1 { items.swap_remove(0) } else { Expr::Seq(items) })
+            }
+            TokenKind::Punct('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    if self.at_punct(']') {
+                        self.bump();
+                        break;
+                    }
+                    if self.peek(0).is_none() {
+                        return Err(self.err("unclosed array"));
+                    }
+                    items.push(self.parse_expr(false)?);
+                    if self.at_punct(',') || self.at_punct(';') {
+                        self.bump();
+                    }
+                }
+                Ok(Expr::Seq(items))
+            }
+            TokenKind::Punct('{') => Ok(Expr::BlockExpr(self.parse_block()?)),
+            TokenKind::Punct('|') => self.parse_closure(),
+            TokenKind::Punct('<') => {
+                // Qualified path `<T as Trait>::method(..)`.
+                self.skip_angles();
+                if self.at_path_sep() {
+                    self.bump();
+                    self.bump();
+                    if let Some(name) = self.ident_at(0) {
+                        let name = name.to_string();
+                        let span = self.span();
+                        self.bump();
+                        return self.parse_path_like(name, span, no_struct);
+                    }
+                }
+                Ok(Expr::Unit)
+            }
+            TokenKind::Punct('#') => {
+                self.skip_attribute();
+                self.parse_primary(no_struct)
+            }
+            TokenKind::Punct(c) => {
+                Err(ParseError { span: self.span(), what: format!("unexpected `{c}` in expression position") })
+            }
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                let span = self.span();
+                match name.as_str() {
+                    "if" => self.parse_if(),
+                    "match" => self.parse_match(),
+                    "loop" => {
+                        self.bump();
+                        Ok(Expr::Loop { body: self.parse_block()? })
+                    }
+                    "while" => {
+                        self.bump();
+                        let mut bound = Vec::new();
+                        if self.ident_at(0) == Some("let") {
+                            self.bump();
+                            let (names, stop) = self.scan_pattern(true, false);
+                            bound = names;
+                            if stop == PatternStop::Eq {
+                                self.bump();
+                            }
+                        }
+                        let cond = Box::new(self.parse_expr(true)?);
+                        let body = self.parse_block()?;
+                        Ok(Expr::While { bound, cond, body })
+                    }
+                    "for" => {
+                        self.bump();
+                        let (bound, _) = self.scan_pattern(false, false);
+                        if self.ident_at(0) == Some("in") {
+                            self.bump();
+                        }
+                        let iter = Box::new(self.parse_expr(true)?);
+                        let body = self.parse_block()?;
+                        Ok(Expr::For { bound, iter, body })
+                    }
+                    "return" => {
+                        self.bump();
+                        let value = if self.expr_follows(no_struct) {
+                            Some(Box::new(self.parse_expr(no_struct)?))
+                        } else {
+                            None
+                        };
+                        Ok(Expr::Return { value, span })
+                    }
+                    "break" => {
+                        self.bump();
+                        if matches!(self.peek(0).map(|t| &t.kind), Some(TokenKind::Lifetime)) {
+                            self.bump();
+                        }
+                        let value = if self.expr_follows(no_struct) {
+                            Some(Box::new(self.parse_expr(no_struct)?))
+                        } else {
+                            None
+                        };
+                        Ok(Expr::Break { value })
+                    }
+                    "continue" => {
+                        self.bump();
+                        if matches!(self.peek(0).map(|t| &t.kind), Some(TokenKind::Lifetime)) {
+                            self.bump();
+                        }
+                        Ok(Expr::Continue)
+                    }
+                    "unsafe" => {
+                        self.bump();
+                        Ok(Expr::BlockExpr(self.parse_block()?))
+                    }
+                    "move" => {
+                        self.bump();
+                        if self.at_punct('|') {
+                            self.parse_closure()
+                        } else {
+                            // `move { .. }` (rare) — treat as a block.
+                            Ok(Expr::BlockExpr(self.parse_block()?))
+                        }
+                    }
+                    _ => {
+                        self.bump();
+                        self.parse_path_like(name, span, no_struct)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Continue a path expression whose first segment is already consumed: more
+    /// segments, a macro bang, a call, a struct literal, or a plain variable read.
+    fn parse_path_like(&mut self, mut last: String, mut span: Span, no_struct: bool) -> PResult<Expr> {
+        let mut segments = 1usize;
+        loop {
+            if self.at_path_sep() {
+                if self.punct_at(2, '<') {
+                    self.bump();
+                    self.bump();
+                    self.skip_angles(); // turbofish
+                    continue;
+                }
+                if let Some(name) = self.ident_at(2) {
+                    last = name.to_string();
+                    span = self.peek(2).map_or(span, |t| Span { line: t.line, col: t.col });
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    segments += 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        if self.at_punct('!') && (self.punct_at(1, '(') || self.punct_at(1, '[') || self.punct_at(1, '{')) {
+            self.bump();
+            return Ok(self.parse_macro_args());
+        }
+        if self.at_punct('(') {
+            let args = self.parse_args()?;
+            return Ok(Expr::Call { callee: Some(last), span, base: None, args });
+        }
+        if self.at_punct('{') && !no_struct {
+            return self.parse_struct_literal();
+        }
+        if segments > 1 {
+            // `Ordering::Relaxed` and friends: a path constant, not a variable read.
+            return Ok(Expr::Unit);
+        }
+        Ok(Expr::Var { name: last, span })
+    }
+
+    /// Reduce a macro invocation's delimited arguments to the bare identifiers inside:
+    /// names that are not call names, path segments, or field/method names.
+    fn parse_macro_args(&mut self) -> Expr {
+        let (open, close) = match self.peek(0).map(|t| &t.kind) {
+            Some(TokenKind::Punct('(')) => ('(', ')'),
+            Some(TokenKind::Punct('[')) => ('[', ']'),
+            _ => ('{', '}'),
+        };
+        let mut idents = Vec::new();
+        let mut depth = 0usize;
+        let mut prev_excludes = false;
+        while let Some(tok) = self.peek(0) {
+            match &tok.kind {
+                TokenKind::Punct(c) if *c == open => depth += 1,
+                TokenKind::Punct(c) if *c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        break;
+                    }
+                }
+                TokenKind::Ident(name) => {
+                    let followed_by_call = self.punct_at(1, '(');
+                    let followed_by_path = self.punct_at(1, ':') && self.punct_at(2, ':');
+                    if !prev_excludes && !followed_by_call && !followed_by_path && binds_name(name) {
+                        idents.push((name.clone(), Span { line: tok.line, col: tok.col }));
+                    }
+                }
+                _ => {}
+            }
+            prev_excludes = matches!(self.peek(0).map(|t| &t.kind), Some(TokenKind::Punct('.'))) || self.at_path_sep();
+            self.bump();
+        }
+        Expr::MacroCall { idents }
+    }
+
+    /// Parse a struct literal body, starting on `{`.
+    fn parse_struct_literal(&mut self) -> PResult<Expr> {
+        self.bump(); // `{`
+        let mut fields = Vec::new();
+        loop {
+            if self.at_punct('}') {
+                self.bump();
+                return Ok(Expr::StructLit { fields });
+            }
+            if self.peek(0).is_none() {
+                return Err(self.err("unclosed struct literal"));
+            }
+            if self.at_punct(',') {
+                self.bump();
+                continue;
+            }
+            if self.at_punct('.') && self.punct_at(1, '.') {
+                self.bump();
+                self.bump();
+                fields.push(self.parse_expr(false)?); // `..base`
+                continue;
+            }
+            if let Some(name) = self.ident_at(0) {
+                // `field: value` vs shorthand `field` (a variable read).
+                if self.punct_at(1, ':') && !self.punct_at(2, ':') {
+                    self.bump();
+                    self.bump();
+                    fields.push(self.parse_expr(false)?);
+                    continue;
+                }
+                let span = self.span();
+                let name = name.to_string();
+                self.bump();
+                fields.push(Expr::Var { name, span });
+                continue;
+            }
+            fields.push(self.parse_expr(false)?);
+        }
+    }
+
+    fn parse_if(&mut self) -> PResult<Expr> {
+        self.bump(); // `if`
+        let mut bound = Vec::new();
+        if self.ident_at(0) == Some("let") {
+            self.bump();
+            let (names, stop) = self.scan_pattern(true, false);
+            bound = names;
+            if stop == PatternStop::Eq {
+                self.bump();
+            }
+        }
+        let cond = Box::new(self.parse_expr(true)?);
+        let then = self.parse_block()?;
+        let orelse = if self.ident_at(0) == Some("else") {
+            self.bump();
+            if self.ident_at(0) == Some("if") {
+                Some(Box::new(self.parse_if()?))
+            } else {
+                Some(Box::new(Expr::BlockExpr(self.parse_block()?)))
+            }
+        } else {
+            None
+        };
+        Ok(Expr::If { bound, cond, then, orelse })
+    }
+
+    fn parse_match(&mut self) -> PResult<Expr> {
+        self.bump(); // `match`
+        let scrutinee = Box::new(self.parse_expr(true)?);
+        if !self.at_punct('{') {
+            return Err(self.err("expected `{` after match scrutinee"));
+        }
+        self.bump();
+        let mut arms = Vec::new();
+        loop {
+            if self.at_punct('}') {
+                self.bump();
+                return Ok(Expr::Match { scrutinee, arms });
+            }
+            if self.peek(0).is_none() {
+                return Err(self.err("unclosed match"));
+            }
+            while self.at_punct('#') {
+                self.skip_attribute();
+            }
+            if self.at_punct('|') {
+                self.bump();
+            }
+            let (bound, stop) = self.scan_pattern(false, true);
+            let guard = if stop == PatternStop::Guard {
+                self.bump(); // `if`
+                Some(self.parse_expr(true)?)
+            } else {
+                None
+            };
+            if !(self.at_punct('=') && self.punct_at(1, '>')) {
+                return Err(self.err("expected `=>` in match arm"));
+            }
+            self.bump();
+            self.bump();
+            let body = self.parse_expr(false)?;
+            if self.at_punct(',') {
+                self.bump();
+            }
+            arms.push(Arm { bound, guard, body });
+        }
+    }
+
+    fn parse_closure(&mut self) -> PResult<Expr> {
+        // `||` (no params) or `|params|`.
+        if self.at_punct('|') && self.punct_at(1, '|') && self.adjacent(0) {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump(); // opening `|`
+            let mut paren = 0usize;
+            let mut bracket = 0usize;
+            let mut angle = 0usize;
+            while let Some(tok) = self.peek(0) {
+                match tok.kind {
+                    TokenKind::Punct('(') => paren += 1,
+                    TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+                    TokenKind::Punct('[') => bracket += 1,
+                    TokenKind::Punct(']') => bracket = bracket.saturating_sub(1),
+                    TokenKind::Punct('<') => angle += 1,
+                    TokenKind::Punct('>') => angle = angle.saturating_sub(1),
+                    TokenKind::Punct('|') if paren == 0 && bracket == 0 && angle == 0 => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                self.bump();
+            }
+        }
+        if self.at_punct('-') && self.punct_at(1, '>') {
+            self.bump();
+            self.bump();
+            self.skip_type();
+        }
+        let body = Box::new(self.parse_expr(false)?);
+        Ok(Expr::Closure { body })
+    }
+}
+
+/// Would this identifier, in pattern position, bind a new name? Uppercase-first
+/// identifiers are enum variants / constants by Rust convention.
+fn binds_name(name: &str) -> bool {
+    if name == "_" || PATTERN_KEYWORDS.contains(&name) {
+        return false;
+    }
+    name.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+/// Where a pattern scan stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PatternStop {
+    /// At a depth-0 `=` (initializer follows).
+    Eq,
+    /// At a depth-0 `;` (no initializer).
+    Semi,
+    /// At a depth-0 `:` (type annotation follows).
+    TypeAnnotation,
+    /// At the identifier `in` (for-loop iterator follows).
+    In,
+    /// At the identifier `if` (match-arm guard follows).
+    Guard,
+    /// At `=>` (match-arm body follows).
+    Arrow,
+    /// At a closing delimiter or end of input.
+    Other,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn parses_functions_blocks_and_tails() {
+        let p = parse_src("pub fn outer(x: usize) -> usize {\n    let y = x + 1;\n    y\n}\nfn plain() {}\n");
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.functions[0].name, "outer");
+        assert!(p.functions[0].body.tail.is_some());
+        assert_eq!(p.functions[0].body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn parses_control_flow_and_question_spans() {
+        let p = parse_src(
+            "fn f(pool: &Pool) -> Result<(), E> {\n    let pages = pool.checked_pages()?;\n    match pages {\n        0 => return Err(E::Empty),\n        n if n > 4 => {}\n        _ => {}\n    }\n    Ok(())\n}\n",
+        );
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        let f = &p.functions[0];
+        let Some(Stmt::Let { names, init, .. }) = f.body.stmts.first() else {
+            panic!("expected let: {:?}", f.body.stmts)
+        };
+        assert_eq!(names[0].0, "pages");
+        let Some(Expr::Question { span, .. }) = init.as_ref() else { panic!("expected ?: {init:?}") };
+        assert_eq!((span.line, span.col), (2, 37));
+        let Some(Stmt::Expr(Expr::Match { arms, .. })) = f.body.stmts.get(1) else {
+            panic!("expected match: {:?}", f.body.stmts)
+        };
+        assert_eq!(arms.len(), 3);
+        assert!(arms[1].guard.is_some());
+    }
+
+    #[test]
+    fn terminal_call_name_peels_adapters() {
+        let p = parse_src(
+            "fn f(pool: &Pool) {\n    let a = pool.state();\n    let b = pool.state().unwrap();\n    let c = pool.state().free.len();\n}\n",
+        );
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        let terminals: Vec<Option<&str>> = p.functions[0]
+            .body
+            .stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Let { init: Some(e), .. } => terminal_call_name(e),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(terminals, vec![Some("state"), Some("state"), Some("len")]);
+    }
+
+    #[test]
+    fn parses_closures_struct_literals_and_turbofish() {
+        let p = parse_src(
+            "fn f(v: Vec<usize>) -> Foo {\n    let total = v.iter().map(|x| x + 1).sum::<usize>();\n    Foo { total, other: vec![1, 2], ..Default::default() }\n}\n",
+        );
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        assert!(matches!(p.functions[0].body.tail.as_deref(), Some(Expr::StructLit { .. })));
+    }
+
+    #[test]
+    fn nested_functions_are_collected_once() {
+        let p = parse_src("fn outer() {\n    fn inner(q: u8) -> u8 { q }\n    inner(3);\n}\n");
+        assert!(p.errors.is_empty(), "{:?}", p.errors);
+        let names: Vec<&str> = p.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["inner", "outer"]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Must-fire fixture for `guard-liveness` (L7): guards that die on *one* path but
+//! stay live into a hot call on a sibling path — exactly the shapes the old
+//! brace-depth `lock-across-call` rule could not see.
+
+pub fn dropped_in_one_arm_only(pool: &PagePool, cache: &mut PagedKvCache, cond: bool) {
+    let state = pool.state();
+    match cond {
+        true => drop(state),
+        false => {}
+    }
+    cache.unpack_row_into(0, &mut []);
+}
+
+pub fn dropped_only_before_early_return(pool: &PagePool, model: &Model, cond: bool) -> usize {
+    let guard = pool.lock();
+    if cond {
+        drop(guard);
+        return 0;
+    }
+    model.decode_step_backend(3)
+}

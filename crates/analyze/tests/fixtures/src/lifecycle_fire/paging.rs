@@ -1,0 +1,37 @@
+//! Must-fire fixture for `page-lifecycle` (L6): double-free, use-after-free, and
+//! leaks at scope end, on early return, and on the `?` error path.
+
+pub fn double_free(pool: &mut PagePool, cond: bool) {
+    let page = pool.alloc_page();
+    if cond {
+        pool.free_page(page);
+    }
+    pool.free_page(page);
+}
+
+pub fn use_after_free(pool: &mut PagePool, table: &mut Table) {
+    let page = pool.alloc_page();
+    pool.free_page(page);
+    table.install(page);
+}
+
+pub fn leak_on_early_return(pool: &mut PagePool, cond: bool) {
+    let page = pool.alloc_page();
+    if cond {
+        return;
+    }
+    pool.free_page(page);
+}
+
+pub fn leak_on_question(pool: &mut PagePool) -> Result<(), PoolError> {
+    let page = pool.alloc_page();
+    let row = pool.checked_row()?;
+    pool.free_page(page);
+    pool.consume(row);
+    Ok(())
+}
+
+pub fn leak_at_scope_end(pool: &mut PagePool) {
+    let page = pool.alloc_page();
+    pool.note_stats();
+}

@@ -1,4 +1,4 @@
-//! Must-not-fire fixture for `lock-across-call`: guards scoped out, dropped, or
+//! Must-not-fire fixture for `guard-liveness`: guards scoped out, dropped, or
 //! never bound before the hot call runs.
 
 pub fn scoped(pool: &PagePool, cache: &mut PagedKvCache) {

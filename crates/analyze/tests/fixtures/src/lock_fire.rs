@@ -1,4 +1,5 @@
-//! Must-fire fixture for `lock-across-call` (L1): pool guards held across hot calls.
+//! Must-fire fixture for `guard-liveness` (L7): pool guards held across hot calls
+//! on the straight-line path.
 
 pub fn bad_state(pool: &PagePool, cache: &mut PagedKvCache) {
     let state = pool.state();

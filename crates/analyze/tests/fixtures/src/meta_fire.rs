@@ -1,0 +1,11 @@
+//! Must-fire fixture for `meta-unused-allow`: a suppression that silences nothing,
+//! and a used suppression missing its `reason:` tail.
+
+pub fn stale_allow(v: usize) -> usize {
+    // mx-analyze: allow(no-panics) reason: nothing on the next line can panic
+    v + 1
+}
+
+pub fn reasonless_allow(v: Option<usize>) -> usize {
+    v.unwrap() // mx-analyze: allow(no-panics)
+}

@@ -1,0 +1,28 @@
+//! Must-not-fire fixture for `must-release`: released on every path, handed off to
+//! a queue, returned to the caller, or settled before the `?` can exit.
+
+pub fn released_on_every_path(pool: &PagePool, cond: bool) {
+    let res = pool.reserve(4);
+    if cond {
+        res.release();
+    } else {
+        pool.unreserve(res);
+    }
+}
+
+pub fn handed_off(pool: &PagePool, queue: &mut Queue) {
+    let res = pool.reserve(4);
+    queue.push(res);
+}
+
+pub fn returned(pool: &PagePool) -> Reservation {
+    let res = pool.reserve(4);
+    res
+}
+
+pub fn released_before_question(pool: &PagePool) -> Result<(), PoolError> {
+    let res = pool.reserve(2);
+    res.release();
+    pool.flush()?;
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Must-fire fixture for `must-release` (L8): reservations that can exit without a
+//! release or handoff.
+
+pub fn held_at_scope_end(pool: &PagePool) {
+    let res = pool.reserve(4);
+    pool.note(&res);
+}
+
+pub fn held_on_early_return(pool: &PagePool, cond: bool) {
+    let res = pool.reserve(4);
+    if cond {
+        return;
+    }
+    res.release();
+}
+
+pub fn held_on_question(pool: &PagePool) -> Result<(), PoolError> {
+    let res = pool.reserve(2);
+    pool.flush()?;
+    res.release();
+    Ok(())
+}

@@ -1,13 +1,14 @@
 //! Suppression fixture: one would-be violation per rule, every one silenced with
-//! `// mx-analyze: allow(<rule>)` in both the line-above and trailing forms.
+//! `// mx-analyze: allow(<rule>) reason: <text>` in both the line-above and trailing
+//! forms.
 
 pub fn quiet(v: Option<usize>, engine: &mut ServingEngine, pool: &PagePool, cache: &mut Cache) -> usize {
-    // mx-analyze: allow(no-panics) — exercised by the line-above suppression form
+    // mx-analyze: allow(no-panics) reason: exercises the line-above suppression form
     let a = v.unwrap();
-    let b = v.expect("fine"); // mx-analyze: allow(no-panics)
-    engine.submit(&[1], 2); // mx-analyze: allow(deprecated-submit)
+    let b = v.expect("fine"); // mx-analyze: allow(no-panics) reason: fixture value is always Some
+    engine.submit(&[1], 2); // mx-analyze: allow(deprecated-submit) reason: pinned legacy call shape
     let state = pool.state();
-    cache.pack_row_into(&[0.0], &mut []); // mx-analyze: allow(lock-across-call)
+    cache.pack_row_into(&[0.0], &mut []); // mx-analyze: allow(guard-liveness) reason: single-threaded fixture
     drop(state);
     a + b
 }
@@ -18,7 +19,7 @@ pub struct Refs {
 
 impl Refs {
     pub fn release(&self) -> usize {
-        // mx-analyze: allow(atomic-ordering) — fixture counter, not a real refcount
+        // mx-analyze: allow(atomic-ordering) reason: fixture counter, not a real refcount
         self.refs.fetch_sub(1, std::sync::atomic::Ordering::Relaxed)
     }
 }

@@ -728,7 +728,7 @@ impl<'m> ServingEngine<'m> {
                             let seq = std::mem::replace(&mut self.sequences[idx], Sequence::parked());
                             // A closed channel means the worker panicked; panicking here is
                             // the intended propagation path (the scope join re-raises it).
-                            // mx-analyze: allow(no-panics)
+                            // mx-analyze: allow(no-panics) reason: worker panic must propagate to the coordinator
                             pool.jobs[worker].send((idx, seq)).expect("decode worker hung up");
                             sent[worker] += 1;
                         }
@@ -736,7 +736,7 @@ impl<'m> ServingEngine<'m> {
                     for (worker, &count) in sent.iter().enumerate() {
                         for _ in 0..count {
                             // Same as the send above: a worker death must fail the run loudly.
-                            // mx-analyze: allow(no-panics)
+                            // mx-analyze: allow(no-panics) reason: worker panic must propagate to the coordinator
                             let out = pool.results[worker].recv().expect("decode worker panicked");
                             self.sequences[out.index] = out.seq;
                             stats.generated += out.tokens;
