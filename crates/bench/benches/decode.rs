@@ -9,7 +9,7 @@
 //! produce bit-identical logits (pinned by tests in `mx-llm`); only the per-token work
 //! differs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use mx_llm::model::argmax;
 use mx_llm::{DecodePath, KvCache, ModelConfig, ModelQuantConfig, ServingEngine, SubmitOptions, TransformerModel};
 
@@ -106,5 +106,41 @@ fn serving_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `--json` snapshot workload: the f32-backend thread-scaling sweep, one entry per
+/// thread count carrying wall throughput and the latency percentiles.
+fn serving_snapshot() -> String {
+    let model = bench_model();
+    const RESIDENT: usize = 16;
+    const NEW_TOKENS: usize = 24;
+    let entries: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let mut engine = ServingEngine::new(&model).with_threads(threads);
+            for s in 0..RESIDENT {
+                let prompt: Vec<usize> = (0..8).map(|i| (s * 11 + i * 3) % 128).collect();
+                engine.submit_with(&prompt, SubmitOptions::new(NEW_TOKENS));
+            }
+            let report = engine.run();
+            assert_eq!(report.generated_tokens, RESIDENT * NEW_TOKENS);
+            mx_bench::snapshot::entry_json(&format!("f32_seqs{RESIDENT}_t{threads}"), &report)
+        })
+        .collect();
+    mx_bench::snapshot::document_json("decode_serving", &entries)
+}
+
 criterion_group!(benches, decode_view_vs_clone, batched_serving, serving_thread_scaling);
-criterion_main!(benches);
+
+fn main() {
+    // `--json <path>` replaces the criterion run with one deterministic serving sweep
+    // written as a JSON snapshot (throughput + latency percentiles).
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            let path = args.next().expect("--json requires a file path");
+            std::fs::write(&path, serving_snapshot()).expect("write --json snapshot");
+            println!("wrote serving latency snapshot to {path}");
+            return;
+        }
+    }
+    benches();
+}

@@ -10,12 +10,13 @@
 //! startup — that is the memory half of the trade the bench quantifies: ~7x less cache
 //! storage for a modest per-row decode cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use mx_formats::RowCodec;
 use mx_llm::kvcache::KvBackend;
 use mx_llm::model::argmax;
 use mx_llm::{
-    KvCache, ModelConfig, ModelQuantConfig, PagePool, PagedKvCache, ServingEngine, SubmitOptions, TransformerModel,
+    KvCache, ModelConfig, ModelQuantConfig, PagePool, PagedKvCache, ServingEngine, SubmitOptions, TelemetryConfig,
+    TransformerModel,
 };
 
 /// Tokens decoded per measured iteration after the cache is rebuilt.
@@ -221,5 +222,80 @@ fn prefix_sharing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, paged_vs_f32, thread_scaling, prefix_sharing);
-criterion_main!(benches);
+/// Telemetry-overhead bench (ISSUE-8): the same paged serving workload with event
+/// tracing disabled vs enabled. The `off` arm is the default-path number the < 2%
+/// regression budget is judged against; the `on` arm prices full event recording.
+/// Token streams are asserted identical up front — tracing observes the schedule, it
+/// never perturbs it.
+fn telemetry_overhead(c: &mut Criterion) {
+    let model = bench_model();
+    let cfg = model.config().clone();
+    const RESIDENT: usize = 8;
+    const PROMPT: usize = 8;
+    const NEW_TOKENS: usize = 24;
+    let pages = RESIDENT * cfg.layers * (PROMPT + NEW_TOKENS + 1).div_ceil(PAGE_POSITIONS);
+    let run = |config: TelemetryConfig| {
+        let mut engine = ServingEngine::paged(&model, pages).with_threads(2).with_telemetry(config);
+        for s in 0..RESIDENT {
+            let prompt: Vec<usize> = (0..PROMPT).map(|i| (s * 13 + i * 7) % 128).collect();
+            engine.submit_with(&prompt, SubmitOptions::new(NEW_TOKENS));
+        }
+        let report = engine.run();
+        assert_eq!(report.generated_tokens, RESIDENT * NEW_TOKENS);
+        let tokens: Vec<Vec<usize>> = engine.sequences().iter().map(|s| s.generated.clone()).collect();
+        tokens
+    };
+    assert_eq!(run(TelemetryConfig::Off), run(TelemetryConfig::On), "tracing must not perturb the token streams");
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    for (label, enabled) in [("off", false), ("on", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| run(if enabled { TelemetryConfig::On } else { TelemetryConfig::Off }));
+        });
+    }
+    group.finish();
+}
+
+/// The `--json` snapshot workload: the paged thread-scaling sweep at a fixed size, one
+/// entry per thread count carrying wall throughput and the latency percentiles.
+fn serving_snapshot() -> String {
+    let model = bench_model();
+    let cfg = model.config().clone();
+    const RESIDENT: usize = 16;
+    const PROMPT: usize = 8;
+    const NEW_TOKENS: usize = 24;
+    let pages = RESIDENT * cfg.layers * (PROMPT + NEW_TOKENS + 1).div_ceil(PAGE_POSITIONS);
+    let entries: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let mut engine = ServingEngine::paged(&model, pages).with_threads(threads);
+            for s in 0..RESIDENT {
+                let prompt: Vec<usize> = (0..PROMPT).map(|i| (s * 13 + i * 7) % 128).collect();
+                engine.submit_with(&prompt, SubmitOptions::new(NEW_TOKENS));
+            }
+            let report = engine.run();
+            assert_eq!(report.generated_tokens, RESIDENT * NEW_TOKENS);
+            mx_bench::snapshot::entry_json(&format!("paged_seqs{RESIDENT}_t{threads}"), &report)
+        })
+        .collect();
+    mx_bench::snapshot::document_json("kv_paging_serving", &entries)
+}
+
+criterion_group!(benches, paged_vs_f32, thread_scaling, prefix_sharing, telemetry_overhead);
+
+fn main() {
+    // `--json <path>` replaces the criterion run with one deterministic serving sweep
+    // whose throughput + latency percentiles are written as a JSON snapshot (the
+    // committed `BENCH_serving.json` baseline and the CI artifact both come from here).
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            let path = args.next().expect("--json requires a file path");
+            std::fs::write(&path, serving_snapshot()).expect("write --json snapshot");
+            println!("wrote serving latency snapshot to {path}");
+            return;
+        }
+    }
+    benches();
+}

@@ -46,3 +46,9 @@ pub use paging::{
 pub use quant_config::ModelQuantConfig;
 pub use sampling::{Sampling, SamplingPolicy, SeqRng};
 pub use serving::{FinishReason, Sequence, ServingEngine, ServingReport, SubmitOptions};
+// Telemetry types that appear in the serving API surface (reports, tracing config),
+// re-exported so engine users need no direct mx-telemetry dependency.
+pub use mx_telemetry::{
+    Category, Clock, Event, EventKind, Histogram, LatencySummary, MonotonicClock, QuantileSummary, Telemetry,
+    TelemetryConfig, TestClock, Trace,
+};

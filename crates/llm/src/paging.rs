@@ -398,6 +398,17 @@ impl PagePool {
         self.in_use_pages() * self.page_bytes()
     }
 
+    /// Fraction of the pool's pages currently holding data (`0.0 ..= 1.0`) — the ratio
+    /// behind the serving engine's pass-boundary occupancy gauge.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        if self.pages == 0 {
+            0.0
+        } else {
+            self.in_use_pages() as f64 / self.pages as f64
+        }
+    }
+
     /// Debug-build sanitizer: reconciles the pool's internal accounting — every page
     /// is either home (free) or checked out (`free + in-use == capacity`), free ids
     /// are unique and in range with their buffers home, and reservations never exceed

@@ -63,12 +63,27 @@
 //! scheme bytes from the **measured resident** bytes actually allocated, and reports
 //! wall-clock throughput ([`ServingReport::tokens_per_sec_parallel`]) next to the
 //! summed-across-workers decode rate.
+//!
+//! ## Observability
+//!
+//! Every run measures per-request latency: [`ServingReport::latency`] carries TTFT,
+//! TPOT, scheduler-pass and queue-wait quantiles built from always-on
+//! [`mx_telemetry::Histogram`]s, and [`ServingReport::worker_decode_steps`] exposes the
+//! scheduler's per-worker step skew. *Event tracing* is opt-in
+//! ([`ServingEngine::with_telemetry`]): when enabled, the coordinator and every decode
+//! worker record lifecycle instants (submitted → admitted → first_token → preempted /
+//! restored / evicted → retired), pass spans, prefill/decode-step spans and occupancy
+//! gauges into per-thread shards, and [`ServingEngine::take_trace`] returns the merged
+//! [`mx_telemetry::Trace`] for Chrome trace-event export. Recording never takes a lock
+//! on the step path, and a disabled hub reduces every event site to one branch —
+//! generated tokens are identical with telemetry on or off.
 
 use std::collections::HashMap;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use mx_formats::{QuantScheme, RowCodec};
+use mx_telemetry::{Category, Histogram, LatencySummary, QuantileSummary, Recorder, Telemetry, TelemetryConfig, Trace};
 
 use crate::kvcache::{KvCache, LayerKvCache};
 use crate::model::{DecodePath, TransformerModel};
@@ -140,6 +155,15 @@ pub struct Sequence {
     cache: SeqCache,
     next: usize,
     prefilled: bool,
+    /// Hub-clock reading when the submission first became visible to the scheduler.
+    submitted_ns: Option<u64>,
+    /// Hub-clock reading at first admission (page reservation granted); re-admissions
+    /// after preemption do not overwrite it.
+    admitted_ns: Option<u64>,
+    /// Hub-clock reading when the first generated token became caller-visible.
+    first_token_ns: Option<u64>,
+    /// Whether the coordinator has emitted this sequence's `retired` lifecycle event.
+    finish_logged: bool,
 }
 
 impl Sequence {
@@ -205,6 +229,10 @@ impl Sequence {
             cache: SeqCache::Waiting,
             next: 0,
             prefilled: false,
+            submitted_ns: None,
+            admitted_ns: None,
+            first_token_ns: None,
+            finish_logged: false,
         }
     }
 
@@ -233,17 +261,18 @@ impl Sequence {
     }
 
     /// One scheduler step of this sequence, run by a decode worker: prefill on first
-    /// touch, then stop/budget bookkeeping and one decode step. Returns the number of
-    /// tokens this step generated (0 or 1) and accrues the worker's prefill/decode time.
+    /// touch, then stop/budget bookkeeping and one decode step. Returns the tokens this
+    /// step generated (0 or 1) and the prefill/decode forward time it spent, recording
+    /// the worker-side spans and the first-token lifecycle instant into `rec`.
     fn step(
         &mut self,
         model: &TransformerModel,
         mode: DecodePath,
         scratch: &mut PagedScratch,
-        prefill_time: &mut Duration,
-        decode_time: &mut Duration,
-    ) -> usize {
+        rec: &mut Recorder,
+    ) -> StepResult {
         if !self.prefilled {
+            let span = rec.span(Category::Worker, "prefill", "seq", self.id as u64);
             let t0 = Instant::now();
             // Prefix sharing: positions already resident in shared pages are skipped —
             // the suffix forward starts at `cache.seq_len() == shared_positions`, so the
@@ -257,25 +286,32 @@ impl Sequence {
             };
             self.next = self.sample(logits.row(logits.rows() - 1));
             self.prefilled = true;
-            *prefill_time += t0.elapsed();
-            return 0;
+            let prefill = t0.elapsed();
+            drop(span);
+            return StepResult { tokens: 0, prefill, decode: Duration::ZERO };
         }
         if self.stop_token == Some(self.next) {
             self.finish(FinishReason::Stop);
-            return 0;
+            return StepResult::default();
         }
         if self.generated.len() >= self.max_new_tokens {
             // Zero-budget sequences finish without emitting anything.
             self.finish(FinishReason::Length);
-            return 0;
+            return StepResult::default();
         }
         self.generated.push(self.next);
+        if self.generated.len() == 1 {
+            // TTFT anchor: the first token just became caller-visible.
+            self.first_token_ns = Some(rec.now_nanos());
+            rec.instant(Category::Lifecycle, "first_token", "seq", self.id as u64);
+        }
         if self.generated.len() == self.max_new_tokens {
             // The budgeted last token needs no forward pass of its own: decoding it
             // would only produce logits (and a cache row) that are thrown away.
             self.finish(FinishReason::Length);
-            return 1;
+            return StepResult { tokens: 1, prefill: Duration::ZERO, decode: Duration::ZERO };
         }
+        let span = rec.span(Category::Worker, "decode_step", "seq", self.id as u64);
         let t0 = Instant::now();
         let logits = match &mut self.cache {
             SeqCache::F32(cache) => model.decode_step_with_path(self.next, cache, mode),
@@ -283,8 +319,9 @@ impl Sequence {
             _ => unreachable!("active sequence without a cache"),
         };
         self.next = self.sample(&logits);
-        *decode_time += t0.elapsed();
-        1
+        let decode = t0.elapsed();
+        drop(span);
+        StepResult { tokens: 1, prefill: Duration::ZERO, decode }
     }
 }
 
@@ -346,6 +383,14 @@ pub struct ServingReport {
     pub resident_bytes: usize,
     /// Full-cache materializations observed across all caches (0 on the hot paths).
     pub cache_materializations: usize,
+    /// Per-request latency quantiles (TTFT, TPOT, scheduler-pass wall time and admission
+    /// queue-wait), built from always-on histograms — populated whether or not event
+    /// tracing ([`ServingEngine::with_telemetry`]) is enabled.
+    pub latency: LatencySummary,
+    /// Scheduler step invocations each decode worker executed (prefill touches, decode
+    /// steps and finish bookkeeping); index `w` is worker lane `w + 1`, or the
+    /// coordinator itself on a single-threaded run. Exposes the pool's load skew.
+    pub worker_decode_steps: Vec<usize>,
 }
 
 impl ServingReport {
@@ -489,6 +534,11 @@ pub struct ServingEngine<'m> {
     /// Hash-consed prompt prefixes: chain hash of each full page of prompt positions →
     /// the sequence ids whose prompts contain that page chunk, in submission order.
     prefix_index: HashMap<u64, Vec<usize>>,
+    /// Telemetry hub the run's recorders shard into (a disabled hub unless
+    /// [`ServingEngine::with_telemetry`] configured one).
+    telemetry: Arc<Telemetry>,
+    /// Event trace drained after the last run, when telemetry was enabled.
+    last_trace: Option<Trace>,
 }
 
 impl<'m> ServingEngine<'m> {
@@ -510,6 +560,8 @@ impl<'m> ServingEngine<'m> {
             pool: None,
             num_threads: default_threads(),
             prefix_index: HashMap::new(),
+            telemetry: Telemetry::disabled(),
+            last_trace: None,
         }
     }
 
@@ -534,6 +586,8 @@ impl<'m> ServingEngine<'m> {
             pool: Some(pool),
             num_threads: default_threads(),
             prefix_index: HashMap::new(),
+            telemetry: Telemetry::disabled(),
+            last_trace: None,
         }
     }
 
@@ -555,6 +609,29 @@ impl<'m> ServingEngine<'m> {
     #[must_use]
     pub fn num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// Configures event tracing for subsequent runs (builder-style). The report's
+    /// [`ServingReport::latency`] summaries are always on; this gates only the event
+    /// recording behind [`ServingEngine::take_trace`]. A disabled hub (the default)
+    /// reduces every event site to one branch, and generated tokens are identical with
+    /// telemetry on or off.
+    #[must_use]
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Telemetry::new(&config);
+        self
+    }
+
+    /// Whether event tracing is enabled (see [`ServingEngine::with_telemetry`]).
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+
+    /// Takes the event trace recorded by the most recent [`ServingEngine::run`] call
+    /// (`None` when telemetry is off or no traced run has completed since the last take).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.last_trace.take()
     }
 
     /// The shared page pool, when running on the paged backend.
@@ -605,6 +682,10 @@ impl<'m> ServingEngine<'m> {
             cache: SeqCache::Waiting,
             next: 0,
             prefilled: false,
+            submitted_ns: None,
+            admitted_ns: None,
+            first_token_ns: None,
+            finish_logged: false,
         });
         id
     }
@@ -664,19 +745,25 @@ impl<'m> ServingEngine<'m> {
     /// finished sequences so their pages fund queued admissions.
     pub fn run(&mut self) -> ServingReport {
         let run_start = Instant::now();
-        let mut stats = RunStats::default();
+        let mut stats = RunStats { worker_steps: vec![0; self.num_threads], ..RunStats::default() };
         if self.num_threads == 1 {
             self.drive(None, &mut stats);
         } else {
             let model = self.model;
             let mode = self.mode;
             let num_threads = self.num_threads;
+            let telemetry = Arc::clone(&self.telemetry);
             std::thread::scope(|scope| {
-                let workers = WorkerPool::spawn(scope, model, mode, num_threads);
+                let workers = WorkerPool::spawn(scope, model, mode, num_threads, &telemetry);
                 self.drive(Some(&workers), &mut stats);
                 // Dropping the pool's job senders here ends every worker's receive
                 // loop; the scope then joins them.
             });
+        }
+        if self.telemetry.is_enabled() {
+            // Every recorder has dropped (drive's on return, the workers' at scope
+            // join), so the drain sees the complete run.
+            self.last_trace = Some(self.telemetry.drain_trace());
         }
         self.report(run_start, &stats)
     }
@@ -687,12 +774,15 @@ impl<'m> ServingEngine<'m> {
     fn drive(&mut self, workers: Option<&WorkerPool>, stats: &mut RunStats) {
         let model = self.model;
         let mode = self.mode;
+        let mut rec = self.telemetry.recorder(0);
         let mut coordinator_scratch = PagedScratch::default();
         stats.peak_resident = stats.peak_resident.max(self.resident_bytes());
         let mut pass = 0usize;
 
         loop {
-            self.admit_waiting(pass, stats);
+            let pass_start = rec.now_nanos();
+            rec.begin(Category::Pass, "pass", "pass", pass as u64);
+            self.admit_waiting(pass, stats, &mut rec);
             stats.peak_resident = stats.peak_resident.max(self.resident_bytes());
 
             let active: Vec<usize> = self
@@ -706,13 +796,8 @@ impl<'m> ServingEngine<'m> {
             match workers {
                 None => {
                     for &idx in &active {
-                        stats.generated += self.sequences[idx].step(
-                            model,
-                            mode,
-                            &mut coordinator_scratch,
-                            &mut stats.prefill_time,
-                            &mut stats.decode_time,
-                        );
+                        let out = self.sequences[idx].step(model, mode, &mut coordinator_scratch, &mut rec);
+                        stats.absorb(0, &out);
                     }
                 }
                 Some(pool) => {
@@ -739,9 +824,7 @@ impl<'m> ServingEngine<'m> {
                             // mx-analyze: allow(no-panics) reason: worker panic must propagate to the coordinator
                             let out = pool.results[worker].recv().expect("decode worker panicked");
                             self.sequences[out.index] = out.seq;
-                            stats.generated += out.tokens;
-                            stats.prefill_time += out.prefill;
-                            stats.decode_time += out.decode;
+                            stats.absorb(worker, &out.result);
                         }
                     }
                 }
@@ -750,7 +833,18 @@ impl<'m> ServingEngine<'m> {
             // Pool occupancy only grows during a pass (retirement is below), so sampling
             // here captures the exact peak before the coordinator reclaims pages.
             stats.peak_resident = stats.peak_resident.max(self.resident_bytes());
+            if rec.is_enabled() {
+                if let Some(pool) = &self.pool {
+                    rec.counter(Category::Occupancy, "in_use_pages", pool.in_use_pages() as u64);
+                    rec.counter(Category::Occupancy, "reserved_pages", pool.reserved_pages() as u64);
+                }
+                rec.counter(Category::Occupancy, "resident_bytes", self.resident_bytes() as u64);
+            }
             for seq in &mut self.sequences {
+                if seq.finish.is_some() && !seq.finish_logged {
+                    seq.finish_logged = true;
+                    rec.instant(Category::Lifecycle, "retired", "seq", seq.id as u64);
+                }
                 seq.retire();
             }
             // Pass boundary: every sequence is back in the table and the workers are
@@ -758,6 +852,8 @@ impl<'m> ServingEngine<'m> {
             // audit is a debug-build no-op in release).
             self.audit_pool();
 
+            rec.end(Category::Pass, "pass", "pass", pass as u64);
+            stats.pass_latency.record(rec.now_nanos().saturating_sub(pass_start));
             pass += 1;
             let pending = self
                 .sequences
@@ -795,6 +891,18 @@ impl<'m> ServingEngine<'m> {
             self.sequences.iter().map(|q| 2 * layers * q.cached_positions() * per_row).sum()
         };
         let count = |r: FinishReason| self.sequences.iter().filter(|s| s.finish == Some(r)).count();
+        // TTFT and queue-wait come from per-sequence hub-clock anchors; TPOT and pass
+        // latency accumulated into histograms as the run stepped.
+        let mut ttft = Histogram::new();
+        let mut queue_wait = Histogram::new();
+        for s in &self.sequences {
+            if let (Some(sub), Some(adm)) = (s.submitted_ns, s.admitted_ns) {
+                queue_wait.record(adm.saturating_sub(sub));
+            }
+            if let (Some(sub), Some(first)) = (s.submitted_ns, s.first_token_ns) {
+                ttft.record(first.saturating_sub(sub));
+            }
+        }
         ServingReport {
             scheme: scheme.name(),
             backend: if self.pool.is_some() { "paged-packed" } else { "f32-contiguous" },
@@ -832,6 +940,13 @@ impl<'m> ServingEngine<'m> {
                     _ => 0,
                 })
                 .sum(),
+            latency: LatencySummary {
+                ttft: QuantileSummary::from_histogram(&ttft),
+                tpot: QuantileSummary::from_histogram(&stats.tpot),
+                pass_latency: QuantileSummary::from_histogram(&stats.pass_latency),
+                queue_wait: QuantileSummary::from_histogram(&queue_wait),
+            },
+            worker_decode_steps: stats.worker_steps.clone(),
         }
     }
 
@@ -844,7 +959,7 @@ impl<'m> ServingEngine<'m> {
     /// skipping ahead) when the head still cannot be funded. Prefill itself is *not*
     /// done here — the worker that first steps an admitted sequence prefills it, keeping
     /// the coordinator to pure bookkeeping.
-    fn admit_waiting(&mut self, pass: usize, stats: &mut RunStats) {
+    fn admit_waiting(&mut self, pass: usize, stats: &mut RunStats, rec: &mut Recorder) {
         let mut waiting: Vec<usize> = (0..self.sequences.len())
             .filter(|&i| {
                 let s = &self.sequences[i];
@@ -853,9 +968,18 @@ impl<'m> ServingEngine<'m> {
                     && matches!(s.cache, SeqCache::Waiting | SeqCache::Spilled { .. })
             })
             .collect();
+        for &i in &waiting {
+            let seq = &mut self.sequences[i];
+            if seq.submitted_ns.is_none() {
+                // The submission just became visible to admission — the anchor TTFT and
+                // queue-wait measure from.
+                seq.submitted_ns = Some(rec.now_nanos());
+                rec.instant(Category::Lifecycle, "submitted", "seq", seq.id as u64);
+            }
+        }
         waiting.sort_by_key(|&i| (std::cmp::Reverse(self.sequences[i].priority), i));
         for idx in waiting {
-            if !self.try_admit(idx, stats) {
+            if !self.try_admit(idx, stats, rec) {
                 // Head-of-line blocking: the queue stalls rather than skipping ahead.
                 break;
             }
@@ -863,7 +987,7 @@ impl<'m> ServingEngine<'m> {
     }
 
     /// Tries to admit sequence `idx`; returns whether admission should keep going.
-    fn try_admit(&mut self, idx: usize, stats: &mut RunStats) -> bool {
+    fn try_admit(&mut self, idx: usize, stats: &mut RunStats, rec: &mut Recorder) -> bool {
         let layers = self.model.config().layers;
         let kv_dim = Self::kv_dim(self.model);
         let scheme = self.model.quant().kv_cache;
@@ -872,6 +996,8 @@ impl<'m> ServingEngine<'m> {
             let seq = &mut self.sequences[idx];
             seq.cache = SeqCache::F32(KvCache::with_capacity(layers, kv_dim, capacity));
             stats.prompt_tokens += seq.prompt.len();
+            seq.admitted_ns = Some(rec.now_nanos());
+            rec.instant(Category::Lifecycle, "admitted", "seq", seq.id as u64);
             return true;
         };
         if matches!(self.sequences[idx].cache, SeqCache::Spilled { .. }) {
@@ -879,7 +1005,7 @@ impl<'m> ServingEngine<'m> {
             // (its prompt was already counted at first admission), then restore the
             // spilled page bytes verbatim.
             let needed = PagedKvCache::pages_needed(&pool, layers, capacity);
-            self.preempt_until(idx, needed, None, stats);
+            self.preempt_until(idx, needed, None, stats, rec);
             let restored = match &self.sequences[idx].cache {
                 SeqCache::Spilled { spilled } => {
                     PagedKvCache::restore(&pool, layers, kv_dim, scheme, capacity, spilled)
@@ -889,6 +1015,7 @@ impl<'m> ServingEngine<'m> {
             return match restored {
                 Ok(cache) => {
                     self.sequences[idx].cache = SeqCache::Paged(cache);
+                    rec.instant(Category::Lifecycle, "restored", "seq", self.sequences[idx].id as u64);
                     true
                 }
                 Err(_) => false,
@@ -899,6 +1026,7 @@ impl<'m> ServingEngine<'m> {
             // Larger than the whole budget: no amount of retirement or preemption can
             // ever admit it — the one true capacity failure Evicted is reserved for.
             self.sequences[idx].finish(FinishReason::Evicted);
+            rec.instant(Category::Lifecycle, "evicted", "seq", self.sequences[idx].id as u64);
             return true;
         }
         let plan = match self.plan_prefix_share(idx) {
@@ -923,7 +1051,7 @@ impl<'m> ServingEngine<'m> {
         // Never spill the planned donor to fund its own recipient: the victim filter
         // protects it (spilling it would both destroy the pages about to be shared and
         // leave the plan pointing at a non-paged cache).
-        self.preempt_until(idx, needed, plan.map(|(donor, _)| donor), stats);
+        self.preempt_until(idx, needed, plan.map(|(donor, _)| donor), stats, rec);
         let cache = match plan {
             Some((donor, positions)) => {
                 let prefix = match &mut self.sequences[donor].cache {
@@ -950,6 +1078,8 @@ impl<'m> ServingEngine<'m> {
                 let seq = &mut self.sequences[idx];
                 seq.cache = SeqCache::Paged(cache);
                 stats.prompt_tokens += seq.prompt.len();
+                seq.admitted_ns = Some(rec.now_nanos());
+                rec.instant(Category::Lifecycle, "admitted", "seq", seq.id as u64);
                 true
             }
             None => false,
@@ -963,7 +1093,14 @@ impl<'m> ServingEngine<'m> {
     /// prefix-share donor, when there is one) is never spilled. Preempted sequences
     /// re-enter admission as [`SeqCache::Spilled`] and resume bit-identically once
     /// restored.
-    fn preempt_until(&mut self, idx: usize, needed: usize, protected: Option<usize>, stats: &mut RunStats) {
+    fn preempt_until(
+        &mut self,
+        idx: usize,
+        needed: usize,
+        protected: Option<usize>,
+        stats: &mut RunStats,
+        rec: &mut Recorder,
+    ) {
         let Some(pool) = self.pool.clone() else { return };
         let eligible = |i: usize, s: &Sequence, priority: i32| {
             i != idx
@@ -1006,6 +1143,7 @@ impl<'m> ServingEngine<'m> {
                 _ => unreachable!("victim must hold a paged cache"),
             };
             seq.cache = SeqCache::Spilled { spilled };
+            rec.instant(Category::Lifecycle, "preempted", "seq", seq.id as u64);
             stats.preemptions += 1;
         }
     }
@@ -1106,15 +1244,44 @@ struct RunStats {
     shared_pages: usize,
     prefill_tokens_saved: usize,
     preemptions: usize,
+    /// Decode-step forward latency samples, one per generated token that ran a forward.
+    tpot: Histogram,
+    /// Coordinator scheduler-pass wall-time samples, one per pass.
+    pass_latency: Histogram,
+    /// Scheduler step invocations per worker (index = 0-based worker).
+    worker_steps: Vec<usize>,
+}
+
+impl RunStats {
+    /// Folds one step's outcome into the accumulators, crediting 0-based `worker`.
+    fn absorb(&mut self, worker: usize, out: &StepResult) {
+        self.generated += out.tokens;
+        self.prefill_time += out.prefill;
+        self.decode_time += out.decode;
+        if !out.decode.is_zero() {
+            // The u64 cast holds any realistic single-step latency (< 584 years).
+            self.tpot.record(out.decode.as_nanos() as u64);
+        }
+        if let Some(steps) = self.worker_steps.get_mut(worker) {
+            *steps += 1;
+        }
+    }
+}
+
+/// What one [`Sequence::step`] call produced: tokens emitted (0 or 1) and the forward
+/// time it spent in prefill and decode.
+#[derive(Debug, Clone, Copy, Default)]
+struct StepResult {
+    tokens: usize,
+    prefill: Duration,
+    decode: Duration,
 }
 
 /// One step's result travelling back from a decode worker to the coordinator.
 struct StepOutcome {
     index: usize,
     seq: Sequence,
-    tokens: usize,
-    prefill: Duration,
-    decode: Duration,
+    result: StepResult,
 }
 
 /// Long-lived decode workers fed over channels: spawned **once per run** (not once per
@@ -1137,18 +1304,22 @@ impl WorkerPool {
         model: &'env TransformerModel,
         mode: DecodePath,
         num_threads: usize,
+        telemetry: &Arc<Telemetry>,
     ) -> WorkerPool {
         let mut jobs = Vec::with_capacity(num_threads);
         let mut results = Vec::with_capacity(num_threads);
-        for _ in 0..num_threads {
+        for worker in 0..num_threads {
             let (job_tx, job_rx) = mpsc::channel::<(usize, Sequence)>();
             let (result_tx, result_rx) = mpsc::channel();
+            let hub = Arc::clone(telemetry);
             scope.spawn(move || {
                 let mut scratch = PagedScratch::default();
+                // Worker lanes are 1-based; lane 0 is the coordinator. The shard merges
+                // back into the hub when the recorder drops at loop exit.
+                let mut rec = hub.recorder(worker as u32 + 1);
                 while let Ok((index, mut seq)) = job_rx.recv() {
-                    let (mut prefill, mut decode) = (Duration::ZERO, Duration::ZERO);
-                    let tokens = seq.step(model, mode, &mut scratch, &mut prefill, &mut decode);
-                    if result_tx.send(StepOutcome { index, seq, tokens, prefill, decode }).is_err() {
+                    let result = seq.step(model, mode, &mut scratch, &mut rec);
+                    if result_tx.send(StepOutcome { index, seq, result }).is_err() {
                         break;
                     }
                 }

@@ -10,9 +10,10 @@
 //!   `Rc<RefCell<..>>`-style sharing can creep back into the public API.
 
 use mx_llm::{
-    DecodePath, FinishReason, KvCache, LayerKvCache, ModelConfig, ModelQuantConfig, PagePool, PagedKvCache,
-    PagedLayerReader, PagedScratch, PagingError, Sampling, Sequence, ServingEngine, ServingReport, SharedPrefix,
-    SpilledKv, SubmitOptions, TransformerModel,
+    Category, DecodePath, Event, EventKind, FinishReason, Histogram, KvCache, LatencySummary, LayerKvCache,
+    ModelConfig, ModelQuantConfig, MonotonicClock, PagePool, PagedKvCache, PagedLayerReader, PagedScratch, PagingError,
+    QuantileSummary, Sampling, Sequence, ServingEngine, ServingReport, SharedPrefix, SpilledKv, SubmitOptions,
+    Telemetry, TelemetryConfig, TestClock, Trace, TransformerModel,
 };
 
 fn model() -> TransformerModel {
@@ -40,6 +41,19 @@ fn serving_stack_is_send_and_sync() {
     assert_send_sync::<SharedPrefix>();
     assert_send_sync::<PagedLayerReader<'static>>();
     assert_send_sync::<FinishReason>();
+    // Telemetry types reachable from the serving API (ISSUE-8): the hub is shared by
+    // every worker thread, and reports embed the summary types.
+    assert_send_sync::<Telemetry>();
+    assert_send_sync::<TelemetryConfig>();
+    assert_send_sync::<Trace>();
+    assert_send_sync::<Event>();
+    assert_send_sync::<EventKind>();
+    assert_send_sync::<Category>();
+    assert_send_sync::<Histogram>();
+    assert_send_sync::<LatencySummary>();
+    assert_send_sync::<QuantileSummary>();
+    assert_send_sync::<MonotonicClock>();
+    assert_send_sync::<TestClock>();
 }
 
 /// 4 sequences × 64 tokens = 256 decoded tokens on the f32 backend: 4-thread output must

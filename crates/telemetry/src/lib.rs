@@ -1,0 +1,49 @@
+//! # mx-telemetry
+//!
+//! Dependency-free observability substrate for the MX+ serving stack: an injectable
+//! monotonic [`Clock`], a sharded per-worker event [`Recorder`] with RAII span guards,
+//! log-bucketed latency [`Histogram`]s with p50/p95/p99 extraction, and a Chrome
+//! trace-event JSON exporter ([`Trace::to_chrome_json`]) whose output loads directly
+//! into `chrome://tracing` / Perfetto.
+//!
+//! ## Design in one paragraph
+//!
+//! A [`Telemetry`] hub owns the clock and a mutex-protected list of *finished* shard
+//! buffers. Every thread that wants to record events asks the hub for its own
+//! [`Recorder`] (one per worker thread plus one for the coordinator) and appends to a
+//! plain `Vec<Event>` it exclusively owns — the hot path is an `enabled` branch plus a
+//! `Vec::push`, never a lock. The buffer merges back into the hub exactly once, when
+//! the recorder is dropped at the end of the run; [`Telemetry::drain_trace`] then
+//! stitches the shards into one timestamp-sorted [`Trace`]. When the hub is built from
+//! [`TelemetryConfig::Off`] every recording call is a no-op behind a single bool check,
+//! so a disabled engine pays nothing but that branch (pinned by the
+//! `telemetry_overhead` bench in `mx-bench`), and recording never alters scheduling
+//! decisions — runs are token-identical with telemetry on or off.
+//!
+//! ```
+//! use mx_telemetry::{Category, Telemetry, TelemetryConfig, TestClock};
+//! use std::sync::Arc;
+//!
+//! let hub = Telemetry::new(&TelemetryConfig::on_with_clock(Arc::new(TestClock::with_step(1_000))));
+//! let mut rec = hub.recorder(0);
+//! {
+//!     let mut span = rec.span(Category::Pass, "pass", "pass", 0);
+//!     span.recorder().instant(Category::Lifecycle, "submitted", "seq", 7);
+//! } // RAII: the span's End event is emitted here
+//! drop(rec);
+//! let trace = hub.drain_trace();
+//! assert_eq!(trace.events().len(), 3);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod clock;
+mod histogram;
+mod recorder;
+mod trace;
+
+pub use clock::{Clock, MonotonicClock, TestClock};
+pub use histogram::{Histogram, LatencySummary, QuantileSummary};
+pub use recorder::{Category, Event, EventKind, Recorder, Span, Telemetry, TelemetryConfig};
+pub use trace::Trace;

@@ -11,12 +11,23 @@
 //! preempts a low-priority sequence (spill → restore, bit-identical resume).
 //!
 //! Run with: `cargo run --release --example continuous_batching` (add `--smoke` for the
-//! CI-sized workload).
+//! CI-sized workload, `--trace <path>` to record the run and export a Chrome trace-event
+//! JSON loadable in `chrome://tracing` or Perfetto).
 
-use mxplus::llm::{FinishReason, ModelConfig, ModelQuantConfig, ServingEngine, SubmitOptions, TransformerModel};
+use mxplus::llm::{
+    FinishReason, ModelConfig, ModelQuantConfig, QuantileSummary, ServingEngine, SubmitOptions, TelemetryConfig,
+    TransformerModel,
+};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--trace requires a file path");
+            std::process::exit(2);
+        })
+    });
     let cfg = ModelConfig::llama2_7b();
     let model = TransformerModel::new(cfg.clone(), ModelQuantConfig::a_mxfp4_plus());
     let (n_seqs, budget) = if smoke { (4, 8) } else { (8, 32) };
@@ -48,6 +59,11 @@ fn main() {
     };
 
     let mut engine = ServingEngine::paged(&model, pages);
+    if trace_path.is_some() {
+        // Event tracing is opt-in; the latency summary below is always on. Tokens are
+        // identical either way (pinned by the engine's tests).
+        engine = engine.with_telemetry(TelemetryConfig::On);
+    }
     submit_workload(&mut engine);
 
     {
@@ -99,6 +115,44 @@ fn main() {
         "cache bytes: theoretical {} ({}), peak resident {} (measured packed pages), fp32 {}",
         report.theoretical_bytes, report.scheme, report.resident_bytes, report.theoretical_bytes_fp32
     );
+
+    // Per-request latency (always-on histograms; see ServingReport::latency).
+    let ms = |n: u64| n as f64 / 1e6;
+    println!("\nLatency quantiles (ms): {:>12} {:>10} {:>10} {:>10}", "p50", "p95", "p99", "max");
+    let rows: [(&str, &QuantileSummary); 4] = [
+        ("TTFT", &report.latency.ttft),
+        ("TPOT", &report.latency.tpot),
+        ("pass", &report.latency.pass_latency),
+        ("queue wait", &report.latency.queue_wait),
+    ];
+    for (name, q) in rows {
+        println!(
+            "{name:>21} {:>12.3} {:>10.3} {:>10.3} {:>10.3}",
+            ms(q.p50_nanos),
+            ms(q.p95_nanos),
+            ms(q.p99_nanos),
+            ms(q.max_nanos)
+        );
+    }
+
+    // Per-worker scheduler-step counts: how evenly the coordinator spread the work.
+    println!("\nWorker decode-step counts ({} workers):", report.worker_decode_steps.len());
+    println!("{:>8} {:>8}", "worker", "steps");
+    for (w, steps) in report.worker_decode_steps.iter().enumerate() {
+        println!("{:>8} {:>8}", w + 1, steps);
+    }
+
+    if let Some(path) = &trace_path {
+        let trace = engine.take_trace().expect("telemetry was enabled for --trace");
+        let json = trace.to_chrome_json();
+        std::fs::write(path, &json).expect("write chrome trace");
+        println!(
+            "\nwrote {} events ({} categories) as Chrome trace-event JSON to {path}",
+            trace.events().len(),
+            trace.categories().len()
+        );
+    }
+
     let pool = engine.pool().unwrap();
     assert_eq!(pool.in_use_pages(), 0, "all pages must return to the pool");
     assert_eq!(report.finished_length + report.finished_stop + report.evicted, report.sequences);

@@ -11,6 +11,7 @@
 //! * [`baselines`] — SmoothQuant / QuaRot / AWQ / Atom / ANT / OliVe / Tender analogues.
 //! * [`gpu`] — the Tensor-Core, roofline, conversion, area/power and inference models.
 //! * [`dnn`] — the vision (DeiT / ResNet) substrate for Table 9.
+//! * [`telemetry`] — latency histograms, engine-step tracing and Chrome-trace export.
 //!
 //! ```
 //! use mxplus::formats::QuantScheme;
@@ -28,4 +29,5 @@ pub use mx_dnn as dnn;
 pub use mx_formats as formats;
 pub use mx_gpu_sim as gpu;
 pub use mx_llm as llm;
+pub use mx_telemetry as telemetry;
 pub use mx_tensor as tensor;
