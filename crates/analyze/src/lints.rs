@@ -31,8 +31,8 @@ pub enum Rule {
     AtomicOrdering,
     /// L4: no internal call sites of the deprecated `submit*` wrappers.
     DeprecatedSubmit,
-    /// L5: every `pub` type declared in `paging.rs`/`serving.rs` must appear in the
-    /// compile-time `assert_send_sync` audit list.
+    /// L5: every `pub` type declared in `paging.rs`/`serving.rs`/`fault.rs` must appear
+    /// in the compile-time `assert_send_sync` audit list.
     SendSyncAudit,
     /// L6: page bindings from `reserve`/`alloc*`/`share_prefix` must not be
     /// double-freed, used after free, or dropped while still allocated.
@@ -138,7 +138,8 @@ fn classify(path: &Path) -> FileClass {
         // library surface.
         library: in_src && !has("bin") && !has("tests") && !has("examples") && !has("benches"),
         deprecated_home: in_src && file_name == "serving.rs",
-        concurrency_module: in_src && (file_name == "paging.rs" || file_name == "serving.rs"),
+        concurrency_module: in_src
+            && (file_name == "paging.rs" || file_name == "serving.rs" || file_name == "fault.rs"),
     }
 }
 

@@ -1,0 +1,126 @@
+//! Serving-throughput regression gate for CI.
+//!
+//! Compares a freshly produced serving-latency snapshot (the kv_paging bench's
+//! `--json` mode) against the committed `BENCH_serving.json` baseline, entry by entry:
+//! the run fails if any label's `tokens_per_sec_wall` drops more than the given
+//! tolerance below the baseline, or if a baseline label is missing from the snapshot.
+//! Faster-than-baseline entries always pass — the gate guards regressions, not noise
+//! in the lucky direction.
+//!
+//! Usage: `bench_gate <baseline.json> <fresh.json> [tolerance]` (tolerance is a
+//! fraction, default 0.15 = -15%).
+//!
+//! The parser is a deliberately tiny substring scan over the snapshot's known, flat
+//! shape (`"label":"..."` followed by `"tokens_per_sec_wall":<num>` within the same
+//! entry) — no JSON dependency, byte-stable against reordering of other fields.
+
+use std::process::ExitCode;
+
+/// Extracts `(label, tokens_per_sec_wall)` pairs from a serving-snapshot JSON string.
+fn throughput_entries(json: &str) -> Vec<(String, f64)> {
+    let mut entries = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"label\":\"") {
+        rest = &rest[at + "\"label\":\"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let label = rest[..end].to_string();
+        rest = &rest[end + 1..];
+        // The throughput field lives in the same entry object, before the next label.
+        let scope_end = rest.find("\"label\":\"").unwrap_or(rest.len());
+        let scope = &rest[..scope_end];
+        if let Some(num_at) = scope.find("\"tokens_per_sec_wall\":") {
+            let num = &scope[num_at + "\"tokens_per_sec_wall\":".len()..];
+            let end = num.find([',', '}']).unwrap_or(num.len());
+            if let Ok(value) = num[..end].trim().parse::<f64>() {
+                entries.push((label, value));
+            }
+        }
+    }
+    entries
+}
+
+fn read_entries(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let entries = throughput_entries(&json);
+    if entries.is_empty() {
+        return Err(format!("{path} holds no (label, tokens_per_sec_wall) entries"));
+    }
+    Ok(entries)
+}
+
+fn run(baseline_path: &str, fresh_path: &str, tolerance: f64) -> Result<(), String> {
+    let baseline = read_entries(baseline_path)?;
+    let fresh = read_entries(fresh_path)?;
+    let mut failures = Vec::new();
+    for (label, base) in &baseline {
+        let Some((_, now)) = fresh.iter().find(|(l, _)| l == label) else {
+            failures.push(format!("{label}: missing from {fresh_path}"));
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        let delta = (now - base) / base * 100.0;
+        let verdict = if *now < floor { "FAIL" } else { "ok" };
+        println!("{verdict:>4}  {label:<24} baseline {base:>10.1} tok/s  now {now:>10.1} tok/s  ({delta:+.1}%)");
+        if *now < floor {
+            failures.push(format!(
+                "{label}: {now:.1} tok/s is {:.1}% below baseline {base:.1} (tolerance -{:.0}%)",
+                -delta,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("bench gate passed: {} entries within -{:.0}% of baseline", baseline.len(), tolerance * 100.0);
+        Ok(())
+    } else {
+        Err(format!("serving throughput regression:\n  {}", failures.join("\n  ")))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(baseline), Some(fresh)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [tolerance]");
+        return ExitCode::FAILURE;
+    };
+    let tolerance = match args.get(3).map(|t| t.parse::<f64>()) {
+        None => 0.15,
+        Some(Ok(t)) if t > 0.0 && t < 1.0 => t,
+        Some(_) => {
+            eprintln!("tolerance must be a fraction in (0, 1)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(baseline, fresh, tolerance) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAPSHOT: &str = concat!(
+        "{\"bench\":\"kv_paging_serving\",\"entries\":[",
+        "{\"label\":\"a_t1\",\"threads\":1,\"tokens_per_sec_wall\":1000.5,\"ttft\":{\"count\":1}},",
+        "{\"label\":\"b_t2\",\"tokens_per_sec_wall\":2000.0}",
+        "]}"
+    );
+
+    #[test]
+    fn parses_labelled_throughputs() {
+        let entries = throughput_entries(SNAPSHOT);
+        assert_eq!(entries, vec![("a_t1".to_string(), 1000.5), ("b_t2".to_string(), 2000.0)]);
+    }
+
+    #[test]
+    fn scopes_throughput_to_its_own_entry() {
+        // An entry without the field must not steal the next entry's number.
+        let json = "{\"label\":\"x\",\"other\":1},{\"label\":\"y\",\"tokens_per_sec_wall\":5}";
+        assert_eq!(throughput_entries(json), vec![("y".to_string(), 5.0)]);
+    }
+}

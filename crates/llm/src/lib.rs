@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod eval;
+pub mod fault;
 pub mod kvcache;
 pub mod model;
 pub mod paging;
@@ -38,6 +39,7 @@ pub mod weights;
 
 pub use config::ModelConfig;
 pub use eval::{evaluate_perplexity, PerplexityReport};
+pub use fault::{FaultKind, FaultPlan, RecoveryPolicy};
 pub use kvcache::{KvBackend, KvCache, KvLayerReader, LayerKvCache};
 pub use model::{DecodePath, TransformerModel};
 pub use paging::{
@@ -45,7 +47,7 @@ pub use paging::{
 };
 pub use quant_config::ModelQuantConfig;
 pub use sampling::{Sampling, SamplingPolicy, SeqRng};
-pub use serving::{FinishReason, Sequence, ServingEngine, ServingReport, SubmitOptions};
+pub use serving::{DrainReport, FinishReason, Sequence, ServingEngine, ServingReport, SubmitOptions};
 // Telemetry types that appear in the serving API surface (reports, tracing config),
 // re-exported so engine users need no direct mx-telemetry dependency.
 pub use mx_telemetry::{

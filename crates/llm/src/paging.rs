@@ -210,8 +210,9 @@ impl SharedPrefix {
 /// A preempted cache's contents, swapped out of the page pool into plain host memory:
 /// per-layer packed page buffers copied verbatim plus the appended lengths. Restoring
 /// with [`PagedKvCache::restore`] copies the bytes back into freshly allocated pages, so
-/// a spill/restore round trip is bit-exact.
-#[derive(Debug)]
+/// a spill/restore round trip is bit-exact. `Clone` is what makes a retained
+/// [`PagedKvCache::checkpoint`] reusable across several retry attempts.
+#[derive(Debug, Clone)]
 pub struct SpilledKv {
     scheme: QuantScheme,
     kv_dim: usize,
@@ -815,12 +816,14 @@ impl PagedKvCache {
         SharedPrefix { pages, positions }
     }
 
-    /// Swaps this cache out of the pool: copies every page's packed bytes into a
-    /// host-side [`SpilledKv`] buffer and releases all pages and reservations — the
-    /// preemption primitive. The sequence's cache can later be rebuilt bit-identically
-    /// with [`PagedKvCache::restore`].
-    pub fn spill(&mut self) -> SpilledKv {
-        let spilled = SpilledKv {
+    /// Copies every page's packed bytes into a host-side [`SpilledKv`] buffer *without*
+    /// releasing anything — the cache keeps running exactly as before. This is the
+    /// fault-tolerance checkpoint primitive: the coordinator snapshots retryable
+    /// sequences every K passes, and a sequence lost to a worker panic is rebuilt
+    /// bit-identically from its last snapshot with [`PagedKvCache::restore`].
+    #[must_use]
+    pub fn checkpoint(&self) -> SpilledKv {
+        SpilledKv {
             scheme: self.scheme,
             kv_dim: self.kv_dim,
             lens: self.lens.clone(),
@@ -829,7 +832,15 @@ impl PagedKvCache {
                 .iter()
                 .map(|table| table.iter().map(|page| page.buf().to_vec().into_boxed_slice()).collect())
                 .collect(),
-        };
+        }
+    }
+
+    /// Swaps this cache out of the pool: copies every page's packed bytes into a
+    /// host-side [`SpilledKv`] buffer and releases all pages and reservations — the
+    /// preemption primitive. The sequence's cache can later be rebuilt bit-identically
+    /// with [`PagedKvCache::restore`].
+    pub fn spill(&mut self) -> SpilledKv {
+        let spilled = self.checkpoint();
         self.release();
         spilled
     }

@@ -77,14 +77,42 @@
 //! [`mx_telemetry::Trace`] for Chrome trace-event export. Recording never takes a lock
 //! on the step path, and a disabled hub reduces every event site to one branch —
 //! generated tokens are identical with telemetry on or off.
+//!
+//! ## Fault tolerance
+//!
+//! Failure is a first-class, deterministically testable input ([`crate::fault`]):
+//!
+//! * **Containment** — every worker step runs under `catch_unwind`, so a panicking
+//!   step (a seeded [`FaultPlan`] injection via [`ServingEngine::with_faults`], or a
+//!   genuine bug) costs at most that one sequence's in-flight pass, never the run. The
+//!   coordinator respawns the panicked worker at the pass boundary
+//!   ([`ServingReport::worker_restarts`]) and rolls the lost sequence back to its last
+//!   periodic checkpoint ([`PagedKvCache::checkpoint`], every
+//!   [`RecoveryPolicy::checkpoint_every`] passes), retrying with bounded attempts and
+//!   backoff-in-passes; replay from a bit-exact checkpoint keeps retried sequences —
+//!   and trivially every untouched one — token-identical to a fault-free run. A
+//!   sequence that exhausts its attempts finishes as [`FinishReason::Failed`].
+//! * **Deadlines** — [`SubmitOptions::deadline_pass`] / [`SubmitOptions::ttft_deadline`]
+//!   finish overdue sequences as [`FinishReason::DeadlineExceeded`] instead of letting
+//!   them occupy pages past their usefulness.
+//! * **Load shedding** — with [`ServingEngine::with_shed_watermark`], queued
+//!   never-admitted submissions whose worst-case demand would push the pool past the
+//!   watermark are refused as [`FinishReason::Shed`], lowest priority first — explicit
+//!   refusal instead of silent starvation.
+//! * **Drain/shutdown** — [`ServingEngine::run_for`] bounds a run by passes,
+//!   [`ServingEngine::drain`] finishes live sequences with admissions frozen, and
+//!   [`ServingEngine::shutdown`] spills them to host buffers immediately; both leave
+//!   the pool drained and report the leftover population as a [`DrainReport`].
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use mx_formats::{QuantScheme, RowCodec};
 use mx_telemetry::{Category, Histogram, LatencySummary, QuantileSummary, Recorder, Telemetry, TelemetryConfig, Trace};
 
+use crate::fault::{FaultPlan, FaultState, InjectedFault, RecoveryPolicy};
 use crate::kvcache::{KvCache, LayerKvCache};
 use crate::model::{DecodePath, TransformerModel};
 use crate::paging::{PagePool, PagedKvCache, PagedScratch, SpilledKv, DEFAULT_PAGE_POSITIONS};
@@ -100,6 +128,19 @@ pub enum FinishReason {
     /// The sequence could never be admitted: its worst-case page footprint exceeds the
     /// entire pool budget.
     Evicted,
+    /// The sequence was lost to worker panics more times than the
+    /// [`RecoveryPolicy::max_attempts`] retry budget allows; `attempts` is the total
+    /// number of times it was attempted.
+    Failed {
+        /// Times the sequence was attempted before giving up.
+        attempts: usize,
+    },
+    /// The sequence missed its [`SubmitOptions::deadline_pass`] or
+    /// [`SubmitOptions::ttft_deadline`] and was finished by the deadline sweep.
+    DeadlineExceeded,
+    /// The sequence was refused by priority-ordered load shedding before ever being
+    /// admitted (see [`ServingEngine::with_shed_watermark`]).
+    Shed,
 }
 
 /// Cache state of one sequence across its lifecycle.
@@ -117,6 +158,19 @@ enum SeqCache {
     /// Finished on the paged backend: pages returned to the pool, only the final
     /// position count is kept for accounting.
     Retired { positions: usize },
+}
+
+/// A retryable sequence's recovery snapshot, taken at a pass boundary: the bit-exact
+/// page bytes ([`PagedKvCache::checkpoint`]) plus the sampler and bookkeeping state
+/// needed to replay from that point. Restoring it after a worker panic reproduces the
+/// fault-free token stream exactly, because replay is deterministic.
+#[derive(Debug)]
+struct Checkpoint {
+    spilled: SpilledKv,
+    generated: Vec<usize>,
+    next: usize,
+    rng: SeqRng,
+    shared_positions: usize,
 }
 
 /// One sequence being served.
@@ -164,6 +218,18 @@ pub struct Sequence {
     first_token_ns: Option<u64>,
     /// Whether the coordinator has emitted this sequence's `retired` lifecycle event.
     finish_logged: bool,
+    /// Pass by which the sequence must have finished, else the deadline sweep ends it.
+    deadline_pass: Option<usize>,
+    /// Passes after arrival by which the first token must exist, else the sweep ends it.
+    ttft_deadline: Option<usize>,
+    /// Times this sequence has been attempted (incremented per worker-panic loss).
+    attempts: usize,
+    /// Earliest pass at which a rolled-back sequence becomes admissible again (retry
+    /// backoff; 0 = immediately).
+    retry_at_pass: usize,
+    /// Last recovery snapshot, refreshed every `checkpoint_every` passes while the
+    /// engine runs with faults or an explicit recovery policy; dropped at retirement.
+    checkpoint: Option<Box<Checkpoint>>,
 }
 
 impl Sequence {
@@ -233,7 +299,20 @@ impl Sequence {
             admitted_ns: None,
             first_token_ns: None,
             finish_logged: false,
+            deadline_pass: None,
+            ttft_deadline: None,
+            attempts: 0,
+            retry_at_pass: 0,
+            checkpoint: None,
         }
+    }
+
+    /// Times this sequence has been attempted so far: 0 while it has never lost a step
+    /// to a worker panic, `n` after `n` rollback/retry rounds. A sequence finished as
+    /// [`FinishReason::Failed`] carries its final count in the reason as well.
+    #[must_use]
+    pub fn attempts(&self) -> usize {
+        self.attempts
     }
 
     /// Marks the sequence finished. Pages are *not* reclaimed here — that is the
@@ -245,13 +324,23 @@ impl Sequence {
 
     /// Returns a finished paged sequence's pages to the pool (coordinator-only; see the
     /// [module docs](crate::serving)). Dropping the paged cache frees its pages — this
-    /// is what funds the admission of queued sequences.
+    /// is what funds the admission of queued sequences. A finished sequence parked in a
+    /// spill buffer (deadline-exceeded while preempted, say) drops the host bytes the
+    /// same way, and any recovery checkpoint goes with it.
     fn retire(&mut self) {
         if self.finish.is_some() {
-            if let SeqCache::Paged(cache) = &self.cache {
-                let positions = cache.seq_len();
-                self.cache = SeqCache::Retired { positions };
+            match &self.cache {
+                SeqCache::Paged(cache) => {
+                    let positions = cache.seq_len();
+                    self.cache = SeqCache::Retired { positions };
+                }
+                SeqCache::Spilled { spilled } => {
+                    let positions = spilled.positions();
+                    self.cache = SeqCache::Retired { positions };
+                }
+                _ => {}
             }
+            self.checkpoint = None;
         }
     }
 
@@ -340,6 +429,21 @@ pub struct ServingReport {
     pub finished_stop: usize,
     /// Sequences evicted because they can never fit the page budget.
     pub evicted: usize,
+    /// Sequences that exhausted their retry budget after repeated worker-panic losses
+    /// ([`FinishReason::Failed`]).
+    pub failed: usize,
+    /// Sequences finished by the deadline sweep ([`FinishReason::DeadlineExceeded`]).
+    pub deadline_misses: usize,
+    /// Sequences refused by priority-ordered load shedding ([`FinishReason::Shed`]).
+    pub shed: usize,
+    /// Decode workers respawned after a (real or injected) panic — every one a
+    /// contained crash that did not take the run down.
+    pub worker_restarts: usize,
+    /// Checkpoint-rollback retries scheduled after losing a sequence's in-flight step
+    /// to a worker panic (see [`RecoveryPolicy`]).
+    pub retries: usize,
+    /// Scheduler passes the run executed.
+    pub passes: usize,
     /// Total prompt tokens prefilled.
     pub prompt_tokens: usize,
     /// Total tokens generated by the decode loop.
@@ -417,6 +521,31 @@ fn ratio(num: usize, den: usize) -> f64 {
     }
 }
 
+/// Leftover sequence population after a [`ServingEngine::drain`] or
+/// [`ServingEngine::shutdown`] — the graceful-stop contract's receipt. In both cases no
+/// live sequence holds pool pages on return: drain finishes every resident sequence,
+/// shutdown spills them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Sequences finished for any [`FinishReason`].
+    pub finished: usize,
+    /// Live sequences parked in host-side spill buffers (bit-exact, restorable by a
+    /// later [`ServingEngine::run`]).
+    pub spilled: usize,
+    /// Live sequences still queued, never admitted or rolled back to scratch.
+    pub waiting: usize,
+    /// Scheduler passes the stop path executed (always 0 for shutdown).
+    pub passes: usize,
+}
+
+impl DrainReport {
+    /// Live (unfinished) sequences left in the engine: `spilled + waiting`.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.spilled + self.waiting
+    }
+}
+
 /// Everything one [`ServingEngine`] submission can configure, built fluently:
 ///
 /// ```
@@ -454,6 +583,13 @@ pub struct SubmitOptions {
     /// bit-identical, so there is no accuracy reason to opt out; disable it to measure
     /// the unshared baseline.
     pub share_prefix: bool,
+    /// Absolute scheduler pass by which the sequence must have finished; past it, the
+    /// deadline sweep ends the sequence as [`FinishReason::DeadlineExceeded`]. Default
+    /// `None` (no deadline).
+    pub deadline_pass: Option<usize>,
+    /// Passes after [`SubmitOptions::arrival_pass`] within which the first token must
+    /// have been generated — the pass-domain analogue of a TTFT SLO. Default `None`.
+    pub ttft_deadline: Option<usize>,
 }
 
 impl SubmitOptions {
@@ -467,6 +603,8 @@ impl SubmitOptions {
             priority: 0,
             arrival_pass: 0,
             share_prefix: true,
+            deadline_pass: None,
+            ttft_deadline: None,
         }
     }
 
@@ -506,6 +644,22 @@ impl SubmitOptions {
         self.share_prefix = false;
         self
     }
+
+    /// Requires the sequence to finish by scheduler pass `pass` (see
+    /// [`SubmitOptions::deadline_pass`]).
+    #[must_use]
+    pub fn deadline_pass(mut self, pass: usize) -> Self {
+        self.deadline_pass = Some(pass);
+        self
+    }
+
+    /// Requires the first token within `passes` passes of arrival (see
+    /// [`SubmitOptions::ttft_deadline`]).
+    #[must_use]
+    pub fn ttft_deadline(mut self, passes: usize) -> Self {
+        self.ttft_deadline = Some(passes);
+        self
+    }
 }
 
 /// Decodes a batch of sequences against one model with continuous batching and a decode
@@ -539,6 +693,16 @@ pub struct ServingEngine<'m> {
     telemetry: Arc<Telemetry>,
     /// Event trace drained after the last run, when telemetry was enabled.
     last_trace: Option<Trace>,
+    /// Remaining scheduled faults of an installed [`FaultPlan`], consumed as the
+    /// scheduler's counters reach their coordinates (`None` = fault-free: the whole
+    /// injection machinery is this one `Option` check).
+    faults: Option<FaultState>,
+    /// Explicit checkpoint/retry policy; `None` uses the default policy and enables
+    /// periodic checkpointing only while faults are installed.
+    recovery: Option<RecoveryPolicy>,
+    /// Load-shedding watermark as a fraction of the pool's total pages; `None`
+    /// (default) never sheds.
+    shed_watermark: Option<f64>,
 }
 
 impl<'m> ServingEngine<'m> {
@@ -562,6 +726,9 @@ impl<'m> ServingEngine<'m> {
             prefix_index: HashMap::new(),
             telemetry: Telemetry::disabled(),
             last_trace: None,
+            faults: None,
+            recovery: None,
+            shed_watermark: None,
         }
     }
 
@@ -588,6 +755,9 @@ impl<'m> ServingEngine<'m> {
             prefix_index: HashMap::new(),
             telemetry: Telemetry::disabled(),
             last_trace: None,
+            faults: None,
+            recovery: None,
+            shed_watermark: None,
         }
     }
 
@@ -626,6 +796,43 @@ impl<'m> ServingEngine<'m> {
     #[must_use]
     pub fn telemetry_enabled(&self) -> bool {
         self.telemetry.is_enabled()
+    }
+
+    /// Installs a deterministic [`FaultPlan`] for subsequent runs (builder-style; see
+    /// [`crate::fault`]). Each scheduled fault fires at most once, across however many
+    /// runs it takes for the scheduler's counters to reach it. Installing a plan also
+    /// turns on periodic recovery checkpointing under the active [`RecoveryPolicy`].
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultState::new(&plan));
+        self
+    }
+
+    /// Sets the checkpoint/retry policy for worker-panic recovery (builder-style) and
+    /// enables periodic checkpointing even without an installed fault plan — which is
+    /// what lets *real* (non-injected) worker panics retry from a recent snapshot
+    /// instead of replaying from scratch.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// Enables priority-ordered load shedding (builder-style): on each pass, if the
+    /// pool pages already committed (in use or reserved) plus the worst-case demand of
+    /// every arrived, never-admitted submission exceed `watermark × total_pages`,
+    /// the excess queued submissions are refused as [`FinishReason::Shed`] — lowest
+    /// priority first, youngest first within a class — instead of starving silently.
+    /// Sequences that already ran (preempted or retrying) are never shed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watermark` is not positive.
+    #[must_use]
+    pub fn with_shed_watermark(mut self, watermark: f64) -> Self {
+        assert!(watermark > 0.0, "shed watermark must be positive");
+        self.shed_watermark = Some(watermark);
+        self
     }
 
     /// Takes the event trace recorded by the most recent [`ServingEngine::run`] call
@@ -686,6 +893,11 @@ impl<'m> ServingEngine<'m> {
             admitted_ns: None,
             first_token_ns: None,
             finish_logged: false,
+            deadline_pass: options.deadline_pass,
+            ttft_deadline: options.ttft_deadline,
+            attempts: 0,
+            retry_at_pass: 0,
+            checkpoint: None,
         });
         id
     }
@@ -744,20 +956,84 @@ impl<'m> ServingEngine<'m> {
     /// decodes one token per sequence per pass), sample peak occupancy, and retire
     /// finished sequences so their pages fund queued admissions.
     pub fn run(&mut self) -> ServingReport {
+        self.execute(true, usize::MAX)
+    }
+
+    /// [`ServingEngine::run`], bounded to at most `max_passes` scheduler passes. The
+    /// engine keeps all of its state when the bound strikes mid-flight — active
+    /// sequences stay resident, queued ones stay queued — so a later [`run`],
+    /// [`drain`] or [`shutdown`] call continues exactly where this one stopped.
+    ///
+    /// [`run`]: ServingEngine::run
+    /// [`drain`]: ServingEngine::drain
+    /// [`shutdown`]: ServingEngine::shutdown
+    pub fn run_for(&mut self, max_passes: usize) -> ServingReport {
+        self.execute(true, max_passes)
+    }
+
+    /// Gracefully drains the engine: admissions are frozen (queued and preempted
+    /// sequences stay parked) while every *resident* sequence runs to completion, then
+    /// the worker pool joins cleanly. Returns the leftover population; on return no
+    /// sequence holds pool pages, so `drain` is the clean-stop half of the
+    /// [`ServingEngine::shutdown`] contract.
+    pub fn drain(&mut self) -> DrainReport {
+        let report = self.execute(false, usize::MAX);
+        self.population(report.passes)
+    }
+
+    /// Stops immediately: every live paged sequence is spilled to a host-side buffer
+    /// ([`PagedKvCache::spill`], bit-exact) without running another pass, returning all
+    /// of its pages and reservations to the pool. A later [`ServingEngine::run`]
+    /// restores and finishes them with token streams identical to an uninterrupted
+    /// run. f32-backend sequences keep their host-memory caches as-is.
+    pub fn shutdown(&mut self) -> DrainReport {
+        for seq in &mut self.sequences {
+            if seq.finish.is_none() {
+                if let SeqCache::Paged(cache) = &mut seq.cache {
+                    let spilled = cache.spill();
+                    seq.cache = SeqCache::Spilled { spilled };
+                }
+            }
+        }
+        self.audit_pool();
+        self.population(0)
+    }
+
+    /// The engine's sequence population by state (the [`DrainReport`] both stop paths
+    /// return).
+    fn population(&self, passes: usize) -> DrainReport {
+        let count = |f: fn(&Sequence) -> bool| self.sequences.iter().filter(|s| f(s)).count();
+        DrainReport {
+            finished: count(|s| s.finish.is_some()),
+            spilled: count(|s| s.finish.is_none() && matches!(s.cache, SeqCache::Spilled { .. })),
+            waiting: count(|s| s.finish.is_none() && matches!(s.cache, SeqCache::Waiting)),
+            passes,
+        }
+    }
+
+    /// One scheduler execution: the shared engine of [`run`], [`run_for`] and
+    /// [`drain`], parameterized over whether admission is open and how many passes may
+    /// run.
+    ///
+    /// [`run`]: ServingEngine::run
+    /// [`run_for`]: ServingEngine::run_for
+    /// [`drain`]: ServingEngine::drain
+    fn execute(&mut self, admit: bool, max_passes: usize) -> ServingReport {
         let run_start = Instant::now();
         let mut stats = RunStats { worker_steps: vec![0; self.num_threads], ..RunStats::default() };
         if self.num_threads == 1 {
-            self.drive(None, &mut stats);
+            self.drive(None, &mut stats, admit, max_passes);
         } else {
             let model = self.model;
             let mode = self.mode;
             let num_threads = self.num_threads;
             let telemetry = Arc::clone(&self.telemetry);
             std::thread::scope(|scope| {
-                let workers = WorkerPool::spawn(scope, model, mode, num_threads, &telemetry);
-                self.drive(Some(&workers), &mut stats);
+                let mut workers = WorkerPool::spawn(scope, model, mode, num_threads, &telemetry);
+                self.drive(Some(&mut workers), &mut stats, admit, max_passes);
                 // Dropping the pool's job senders here ends every worker's receive
-                // loop; the scope then joins them.
+                // loop (including any replaced, already-disconnected incarnations);
+                // the scope then joins them all.
             });
         }
         if self.telemetry.is_enabled() {
@@ -770,10 +1046,27 @@ impl<'m> ServingEngine<'m> {
 
     /// The coordinator loop (see [`ServingEngine::run`]). With `workers == None` the
     /// coordinator doubles as the only worker, carrying one scratch across the whole run
-    /// exactly like a pool worker would — the exact sequential engine.
-    fn drive(&mut self, workers: Option<&WorkerPool>, stats: &mut RunStats) {
+    /// exactly like a pool worker would — the exact sequential engine, including the
+    /// same `catch_unwind` fault containment (minus the respawn: there is no worker
+    /// thread to replace).
+    fn drive(
+        &mut self,
+        mut workers: Option<&mut WorkerPool<'_, '_>>,
+        stats: &mut RunStats,
+        admit: bool,
+        max_passes: usize,
+    ) {
         let model = self.model;
         let mode = self.mode;
+        let policy = self.recovery.unwrap_or_default();
+        // Checkpointing costs page-buffer copies, so it only runs when failure is in
+        // play: an installed fault plan or an explicitly requested recovery policy.
+        let checkpoint_every =
+            if self.recovery.is_some() || self.faults.is_some() { policy.checkpoint_every } else { 0 };
+        let num_workers = workers.as_ref().map_or(1, |p| p.jobs.len());
+        // Per-worker lifetime job counters for this run — the coordinates fault
+        // triggers are addressed by.
+        let mut job_counts = vec![0u64; num_workers];
         let mut rec = self.telemetry.recorder(0);
         let mut coordinator_scratch = PagedScratch::default();
         stats.peak_resident = stats.peak_resident.max(self.resident_bytes());
@@ -782,7 +1075,11 @@ impl<'m> ServingEngine<'m> {
         loop {
             let pass_start = rec.now_nanos();
             rec.begin(Category::Pass, "pass", "pass", pass as u64);
-            self.admit_waiting(pass, stats, &mut rec);
+            self.enforce_deadlines(pass, &mut rec);
+            if admit {
+                self.shed_overloaded(pass, &mut rec);
+                self.admit_waiting(pass, stats, &mut rec);
+            }
             stats.peak_resident = stats.peak_resident.max(self.resident_bytes());
 
             let active: Vec<usize> = self
@@ -793,11 +1090,29 @@ impl<'m> ServingEngine<'m> {
                 .map(|(i, _)| i)
                 .collect();
             let progressed = !active.is_empty();
-            match workers {
+            match &mut workers {
                 None => {
                     for &idx in &active {
-                        let out = self.sequences[idx].step(model, mode, &mut coordinator_scratch, &mut rec);
-                        stats.absorb(0, &out);
+                        job_counts[0] += 1;
+                        let fault = match &mut self.faults {
+                            Some(f) => f.take_step_fault(0, job_counts[0], 1),
+                            None => None,
+                        };
+                        let mut seq = std::mem::replace(&mut self.sequences[idx], Sequence::parked());
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            act_injected_fault(fault);
+                            seq.step(model, mode, &mut coordinator_scratch, &mut rec)
+                        }));
+                        self.sequences[idx] = seq;
+                        match caught {
+                            Ok(out) => stats.absorb(0, &out),
+                            Err(_) => {
+                                // Contained exactly like a pool worker's panic; the
+                                // suspect cache is discarded by the recovery path.
+                                rec.instant(Category::Fault, "worker_panic", "worker", 0);
+                                self.recover_sequence(idx, pass, &policy, stats, &mut rec);
+                            }
+                        }
                     }
                 }
                 Some(pool) => {
@@ -807,24 +1122,77 @@ impl<'m> ServingEngine<'m> {
                     // step — no borrows cross threads.
                     let used = pool.jobs.len().min(active.len());
                     let per_worker = active.len().div_ceil(used.max(1));
-                    let mut sent = vec![0usize; pool.jobs.len()];
+                    let mut sent: Vec<Vec<usize>> = vec![Vec::new(); pool.jobs.len()];
+                    let mut dead = vec![false; pool.jobs.len()];
                     for (worker, chunk) in active.chunks(per_worker.max(1)).enumerate() {
                         for &idx in chunk {
+                            job_counts[worker] += 1;
+                            let fault = match &mut self.faults {
+                                Some(f) => f.take_step_fault(worker, job_counts[worker], num_workers),
+                                None => None,
+                            };
                             let seq = std::mem::replace(&mut self.sequences[idx], Sequence::parked());
-                            // A closed channel means the worker panicked; panicking here is
-                            // the intended propagation path (the scope join re-raises it).
-                            // mx-analyze: allow(no-panics) reason: worker panic must propagate to the coordinator
-                            pool.jobs[worker].send((idx, seq)).expect("decode worker hung up");
-                            sent[worker] += 1;
+                            match pool.jobs[worker].send(Job { index: idx, seq, fault }) {
+                                Ok(()) => sent[worker].push(idx),
+                                Err(mpsc::SendError(job)) => {
+                                    // The worker died between passes (it should have
+                                    // been respawned at the last boundary): the
+                                    // sequence is unharmed — put it back and let the
+                                    // respawned worker step it next pass.
+                                    self.sequences[idx] = job.seq;
+                                    dead[worker] = true;
+                                }
+                            }
                         }
                     }
-                    for (worker, &count) in sent.iter().enumerate() {
-                        for _ in 0..count {
-                            // Same as the send above: a worker death must fail the run loudly.
-                            // mx-analyze: allow(no-panics) reason: worker panic must propagate to the coordinator
-                            let out = pool.results[worker].recv().expect("decode worker panicked");
-                            self.sequences[out.index] = out.seq;
-                            stats.absorb(worker, &out.result);
+                    for (worker, indices) in sent.iter().enumerate() {
+                        let mut replies = 0usize;
+                        while replies < indices.len() {
+                            match pool.results[worker].recv() {
+                                Ok(WorkerReply::Done(out)) => {
+                                    self.sequences[out.index] = out.seq;
+                                    stats.absorb(worker, &out.result);
+                                    replies += 1;
+                                }
+                                Ok(WorkerReply::Panicked { index, seq }) => {
+                                    // The step panicked inside the worker's
+                                    // catch_unwind: bookkeeping rode back intact, the
+                                    // cache is suspect and recovery discards it.
+                                    self.sequences[index] = seq;
+                                    dead[worker] = true;
+                                    rec.instant(Category::Fault, "worker_panic", "worker", worker as u64 + 1);
+                                    self.recover_sequence(index, pass, &policy, stats, &mut rec);
+                                    replies += 1;
+                                }
+                                Err(_) => {
+                                    // Hard death: the worker vanished without even a
+                                    // panic reply, taking its queued sequences down
+                                    // with it (their Drop impls returned every page).
+                                    // Tombstone the parked table slots so the run
+                                    // degrades to Failed instead of hanging.
+                                    dead[worker] = true;
+                                    rec.instant(Category::Fault, "worker_panic", "worker", worker as u64 + 1);
+                                    for &idx in &indices[replies..] {
+                                        let seq = &mut self.sequences[idx];
+                                        seq.id = idx;
+                                        seq.attempts += 1;
+                                        let attempts = seq.attempts;
+                                        seq.finish(FinishReason::Failed { attempts });
+                                        rec.instant(Category::Fault, "failed", "seq", idx as u64);
+                                    }
+                                    replies = indices.len();
+                                }
+                            }
+                        }
+                    }
+                    // All replies are in — every surviving sequence is back in the
+                    // table — so flagged workers can be replaced wholesale: fresh
+                    // thread, fresh scratch, same lane.
+                    for (worker, is_dead) in dead.iter().enumerate() {
+                        if *is_dead {
+                            pool.respawn(worker);
+                            stats.worker_restarts += 1;
+                            rec.instant(Category::Fault, "worker_restart", "worker", worker as u64 + 1);
                         }
                     }
                 }
@@ -851,16 +1219,156 @@ impl<'m> ServingEngine<'m> {
             // idle, so the pool must reconcile exactly against the live caches (the
             // audit is a debug-build no-op in release).
             self.audit_pool();
+            if checkpoint_every > 0 && (pass + 1).is_multiple_of(checkpoint_every) {
+                self.take_checkpoints(&mut rec);
+            }
 
             rec.end(Category::Pass, "pass", "pass", pass as u64);
             stats.pass_latency.record(rec.now_nanos().saturating_sub(pass_start));
             pass += 1;
-            let pending = self
-                .sequences
-                .iter()
-                .any(|s| s.finish.is_none() && matches!(s.cache, SeqCache::Waiting | SeqCache::Spilled { .. }));
+            stats.passes = pass;
+            if pass >= max_passes {
+                break;
+            }
+            let pending = admit
+                && self
+                    .sequences
+                    .iter()
+                    .any(|s| s.finish.is_none() && matches!(s.cache, SeqCache::Waiting | SeqCache::Spilled { .. }));
             if !progressed && !pending {
                 break;
+            }
+        }
+    }
+
+    /// Finishes overdue sequences as [`FinishReason::DeadlineExceeded`]: past an
+    /// absolute [`SubmitOptions::deadline_pass`], or still token-less past the
+    /// [`SubmitOptions::ttft_deadline`] passes after arrival. Runs at the start of
+    /// every pass, before admission, so an overdue queued sequence never wastes a
+    /// reservation; the retire sweep then frees whatever storage the sequence held.
+    fn enforce_deadlines(&mut self, pass: usize, rec: &mut Recorder) {
+        for seq in &mut self.sequences {
+            if seq.finish.is_some() || seq.arrival_pass > pass {
+                continue;
+            }
+            let ttft_overdue = seq.generated.is_empty()
+                && seq.ttft_deadline.is_some_and(|d| pass > seq.arrival_pass.saturating_add(d));
+            if ttft_overdue || seq.deadline_pass.is_some_and(|d| pass > d) {
+                seq.finish(FinishReason::DeadlineExceeded);
+                rec.instant(Category::Fault, "deadline_exceeded", "seq", seq.id as u64);
+            }
+        }
+    }
+
+    /// Priority-ordered load shedding (see [`ServingEngine::with_shed_watermark`]):
+    /// refuses arrived, never-admitted submissions as [`FinishReason::Shed`] while the
+    /// committed pages plus the queue's worst-case demand exceed the watermark.
+    fn shed_overloaded(&mut self, pass: usize, rec: &mut Recorder) {
+        let Some(watermark) = self.shed_watermark else { return };
+        let Some(pool) = self.pool.clone() else { return };
+        let layers = self.model.config().layers;
+        let mut queued: Vec<(usize, usize)> = self
+            .sequences
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                // Only submissions that never held cache state are sheddable: a
+                // preempted or retrying sequence already ran, and refusing it now
+                // would throw away work instead of refusing load.
+                s.finish.is_none()
+                    && s.arrival_pass <= pass
+                    && s.admitted_ns.is_none()
+                    && matches!(s.cache, SeqCache::Waiting)
+            })
+            .map(|(i, s)| (i, PagedKvCache::pages_needed(&pool, layers, s.prompt.len() + s.max_new_tokens)))
+            .collect();
+        let committed = pool.total_pages() - pool.free_pages() + pool.reserved_pages();
+        let budget = (watermark * pool.total_pages() as f64).ceil() as usize;
+        let mut demand: usize = committed + queued.iter().map(|&(_, needed)| needed).sum::<usize>();
+        if demand <= budget {
+            return;
+        }
+        // Shed lowest priority first, youngest (highest id) first within a class.
+        queued.sort_by_key(|&(i, _)| (self.sequences[i].priority, std::cmp::Reverse(i)));
+        for (idx, needed) in queued {
+            if demand <= budget {
+                break;
+            }
+            let seq = &mut self.sequences[idx];
+            seq.finish(FinishReason::Shed);
+            rec.instant(Category::Fault, "shed", "seq", seq.id as u64);
+            demand -= needed;
+        }
+    }
+
+    /// Recovery after sequence `idx` lost its in-flight step to a worker panic:
+    /// discard the suspect cache (its Drop returns every page), roll the bookkeeping
+    /// back to the last [`Checkpoint`] (or to scratch when none was taken) and
+    /// schedule a backed-off retry — or finish as [`FinishReason::Failed`] once the
+    /// [`RecoveryPolicy::max_attempts`] budget is spent. Replay from a bit-exact
+    /// snapshot is deterministic, so a retried sequence's final token stream is
+    /// identical to an undisturbed run's.
+    fn recover_sequence(
+        &mut self,
+        idx: usize,
+        pass: usize,
+        policy: &RecoveryPolicy,
+        stats: &mut RunStats,
+        rec: &mut Recorder,
+    ) {
+        let seq = &mut self.sequences[idx];
+        seq.attempts += 1;
+        if seq.attempts > policy.max_attempts {
+            seq.cache = SeqCache::Waiting;
+            seq.checkpoint = None;
+            let attempts = seq.attempts;
+            seq.finish(FinishReason::Failed { attempts });
+            rec.instant(Category::Fault, "failed", "seq", seq.id as u64);
+            return;
+        }
+        seq.retry_at_pass = pass + 1 + policy.backoff_passes * seq.attempts;
+        match seq.checkpoint.as_deref() {
+            Some(cp) => {
+                // Resume from the snapshot: the spilled bytes re-enter through the
+                // same restore path preemption uses, bit-exactly.
+                seq.generated = cp.generated.clone();
+                seq.next = cp.next;
+                seq.rng = cp.rng.clone();
+                seq.shared_positions = cp.shared_positions;
+                seq.prefilled = true;
+                seq.cache = SeqCache::Spilled { spilled: cp.spilled.clone() };
+            }
+            None => {
+                // No snapshot yet: replay from scratch. Deterministic prefill plus a
+                // reset RNG stream reproduce the exact same tokens.
+                seq.generated.clear();
+                seq.next = 0;
+                seq.prefilled = false;
+                seq.shared_positions = 0;
+                seq.rng = SeqRng::new(seq.sampling.seed, seq.id as u64);
+                seq.cache = SeqCache::Waiting;
+            }
+        }
+        stats.retries += 1;
+        rec.instant(Category::Fault, "retry", "seq", seq.id as u64);
+    }
+
+    /// Snapshots every prefilled, unfinished paged sequence for recovery (see
+    /// [`Checkpoint`]); runs at the pass boundary, where workers are idle and the pool
+    /// reconciles, so every snapshot is a consistent cut.
+    fn take_checkpoints(&mut self, rec: &mut Recorder) {
+        for seq in &mut self.sequences {
+            if seq.finish.is_none() && seq.prefilled {
+                if let SeqCache::Paged(cache) = &seq.cache {
+                    seq.checkpoint = Some(Box::new(Checkpoint {
+                        spilled: cache.checkpoint(),
+                        generated: seq.generated.clone(),
+                        next: seq.next,
+                        rng: seq.rng.clone(),
+                        shared_positions: seq.shared_positions,
+                    }));
+                    rec.instant(Category::Fault, "checkpoint", "seq", seq.id as u64);
+                }
             }
         }
     }
@@ -910,6 +1418,12 @@ impl<'m> ServingEngine<'m> {
             finished_length: count(FinishReason::Length),
             finished_stop: count(FinishReason::Stop),
             evicted: count(FinishReason::Evicted),
+            failed: self.sequences.iter().filter(|s| matches!(s.finish, Some(FinishReason::Failed { .. }))).count(),
+            deadline_misses: count(FinishReason::DeadlineExceeded),
+            shed: count(FinishReason::Shed),
+            worker_restarts: stats.worker_restarts,
+            retries: stats.retries,
+            passes: stats.passes,
             prompt_tokens: stats.prompt_tokens,
             generated_tokens: stats.generated,
             prefill_time: stats.prefill_time,
@@ -965,6 +1479,7 @@ impl<'m> ServingEngine<'m> {
                 let s = &self.sequences[i];
                 s.finish.is_none()
                     && s.arrival_pass <= pass
+                    && s.retry_at_pass <= pass
                     && matches!(s.cache, SeqCache::Waiting | SeqCache::Spilled { .. })
             })
             .collect();
@@ -996,10 +1511,23 @@ impl<'m> ServingEngine<'m> {
             let seq = &mut self.sequences[idx];
             seq.cache = SeqCache::F32(KvCache::with_capacity(layers, kv_dim, capacity));
             stats.prompt_tokens += seq.prompt.len();
-            seq.admitted_ns = Some(rec.now_nanos());
+            if seq.admitted_ns.is_none() {
+                seq.admitted_ns = Some(rec.now_nanos());
+            }
             rec.instant(Category::Lifecycle, "admitted", "seq", seq.id as u64);
             return true;
         };
+        // Every paged admission attempt advances the counter injected reservation
+        // denials are addressed by; a denial stalls the head of the queue for one pass,
+        // exactly like a real transient pool exhaustion.
+        let attempt = stats.admission_attempts;
+        stats.admission_attempts += 1;
+        if let Some(faults) = &mut self.faults {
+            if faults.take_denial(attempt) {
+                rec.instant(Category::Fault, "reservation_denied", "seq", self.sequences[idx].id as u64);
+                return false;
+            }
+        }
         if matches!(self.sequences[idx].cache, SeqCache::Spilled { .. }) {
             // Re-admitting a preempted sequence: the full worst-case reservation again
             // (its prompt was already counted at first admission), then restore the
@@ -1078,7 +1606,11 @@ impl<'m> ServingEngine<'m> {
                 let seq = &mut self.sequences[idx];
                 seq.cache = SeqCache::Paged(cache);
                 stats.prompt_tokens += seq.prompt.len();
-                seq.admitted_ns = Some(rec.now_nanos());
+                if seq.admitted_ns.is_none() {
+                    // A retrying sequence keeps its first-admission anchor: queue-wait
+                    // measures the original wait, not the recovery backoff.
+                    seq.admitted_ns = Some(rec.now_nanos());
+                }
                 rec.instant(Category::Lifecycle, "admitted", "seq", seq.id as u64);
                 true
             }
@@ -1244,6 +1776,12 @@ struct RunStats {
     shared_pages: usize,
     prefill_tokens_saved: usize,
     preemptions: usize,
+    worker_restarts: usize,
+    retries: usize,
+    passes: usize,
+    /// Lifetime paged-admission attempt counter — the coordinate injected reservation
+    /// denials are addressed by.
+    admission_attempts: u64,
     /// Decode-step forward latency samples, one per generated token that ran a forward.
     tpot: Histogram,
     /// Coordinator scheduler-pass wall-time samples, one per pass.
@@ -1284,50 +1822,126 @@ struct StepOutcome {
     result: StepResult,
 }
 
+/// One dispatched unit of work: the sequence (moved by value), its table slot, and the
+/// injected fault (if any) the worker must act out before stepping.
+struct Job {
+    index: usize,
+    seq: Sequence,
+    fault: Option<InjectedFault>,
+}
+
+/// A worker's reply to one [`Job`].
+enum WorkerReply {
+    /// The step ran to completion.
+    Done(StepOutcome),
+    /// The step panicked inside the worker's `catch_unwind`. The sequence — bookkeeping
+    /// intact, cache suspect — rides back so the coordinator can roll it back to its
+    /// last checkpoint and retry; the worker itself keeps serving its queue.
+    Panicked {
+        /// The sequence's table slot.
+        index: usize,
+        /// The surviving sequence (its cache must be treated as corrupted).
+        seq: Sequence,
+    },
+}
+
+/// Acts out an injected fault on the executing thread, inside the step's
+/// `catch_unwind`.
+fn act_injected_fault(fault: Option<InjectedFault>) {
+    match fault {
+        None => {}
+        Some(InjectedFault::Slow(millis)) => std::thread::sleep(Duration::from_millis(millis)),
+        // mx-analyze: allow(no-panics) reason: deterministic fault injection emulating a worker crash; only ever run under catch_unwind
+        Some(InjectedFault::Panic) => panic!("injected worker fault"),
+    }
+}
+
 /// Long-lived decode workers fed over channels: spawned **once per run** (not once per
 /// scheduler pass, as the earlier `std::thread::scope`-per-pass design did), each
 /// carrying one reusable [`PagedScratch`] for its whole lifetime. The coordinator moves
 /// sequences to workers by value through per-worker job channels and collects them back
-/// over one shared result channel, so workers own what they step and nothing is borrowed
-/// across threads.
-struct WorkerPool {
-    jobs: Vec<mpsc::Sender<(usize, Sequence)>>,
-    /// One result channel per worker: if a worker panics, its sender drops and the
+/// over per-worker result channels, so workers own what they step and nothing is
+/// borrowed across threads.
+///
+/// Every step runs under `catch_unwind`: a panicking step sends
+/// [`WorkerReply::Panicked`] (carrying the sequence back for rollback) instead of
+/// killing the thread, and the coordinator may [`WorkerPool::respawn`] any slot at a
+/// pass boundary — dropping that slot's job sender disconnects the old incarnation,
+/// which exits its loop and joins when the scope ends.
+struct WorkerPool<'scope, 'env> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    model: &'env TransformerModel,
+    mode: DecodePath,
+    telemetry: Arc<Telemetry>,
+    jobs: Vec<mpsc::Sender<Job>>,
+    /// One result channel per worker: if a worker dies without replying, the
     /// coordinator's `recv` sees a disconnect instead of blocking forever on a shared
     /// channel held open by the surviving workers.
-    results: Vec<mpsc::Receiver<StepOutcome>>,
+    results: Vec<mpsc::Receiver<WorkerReply>>,
 }
 
-impl WorkerPool {
-    fn spawn<'scope, 'env>(
+impl<'scope, 'env> WorkerPool<'scope, 'env> {
+    fn spawn(
         scope: &'scope std::thread::Scope<'scope, 'env>,
         model: &'env TransformerModel,
         mode: DecodePath,
         num_threads: usize,
         telemetry: &Arc<Telemetry>,
-    ) -> WorkerPool {
-        let mut jobs = Vec::with_capacity(num_threads);
-        let mut results = Vec::with_capacity(num_threads);
+    ) -> WorkerPool<'scope, 'env> {
+        let mut pool = WorkerPool {
+            scope,
+            model,
+            mode,
+            telemetry: Arc::clone(telemetry),
+            jobs: Vec::with_capacity(num_threads),
+            results: Vec::with_capacity(num_threads),
+        };
         for worker in 0..num_threads {
-            let (job_tx, job_rx) = mpsc::channel::<(usize, Sequence)>();
-            let (result_tx, result_rx) = mpsc::channel();
-            let hub = Arc::clone(telemetry);
-            scope.spawn(move || {
-                let mut scratch = PagedScratch::default();
-                // Worker lanes are 1-based; lane 0 is the coordinator. The shard merges
-                // back into the hub when the recorder drops at loop exit.
-                let mut rec = hub.recorder(worker as u32 + 1);
-                while let Ok((index, mut seq)) = job_rx.recv() {
-                    let result = seq.step(model, mode, &mut scratch, &mut rec);
-                    if result_tx.send(StepOutcome { index, seq, result }).is_err() {
-                        break;
-                    }
-                }
-            });
-            jobs.push(job_tx);
-            results.push(result_rx);
+            pool.respawn(worker);
         }
-        WorkerPool { jobs, results }
+        pool
+    }
+
+    /// (Re)spawns worker slot `worker` with fresh channels and a fresh scratch. On a
+    /// respawn the replaced job sender drops, disconnecting the old incarnation (it
+    /// exits its loop and joins at scope end); the old result receiver is replaced
+    /// only after every in-flight reply has been collected, which the coordinator
+    /// guarantees by respawning at pass boundaries.
+    fn respawn(&mut self, worker: usize) {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (result_tx, result_rx) = mpsc::channel();
+        let hub = Arc::clone(&self.telemetry);
+        let model = self.model;
+        let mode = self.mode;
+        self.scope.spawn(move || {
+            let mut scratch = PagedScratch::default();
+            // Worker lanes are 1-based; lane 0 is the coordinator. The shard merges
+            // back into the hub when the recorder drops at loop exit.
+            let mut rec = hub.recorder(worker as u32 + 1);
+            while let Ok(Job { index, mut seq, fault }) = job_rx.recv() {
+                // The closure borrows the sequence, so a caught panic leaves it owned
+                // and intact out here — only the step's partial cache mutation is lost,
+                // and the coordinator discards that cache anyway.
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    act_injected_fault(fault);
+                    seq.step(model, mode, &mut scratch, &mut rec)
+                }));
+                let reply = match caught {
+                    Ok(result) => WorkerReply::Done(StepOutcome { index, seq, result }),
+                    Err(_) => WorkerReply::Panicked { index, seq },
+                };
+                if result_tx.send(reply).is_err() {
+                    break;
+                }
+            }
+        });
+        if worker < self.jobs.len() {
+            self.jobs[worker] = job_tx;
+            self.results[worker] = result_rx;
+        } else {
+            self.jobs.push(job_tx);
+            self.results.push(result_rx);
+        }
     }
 }
 

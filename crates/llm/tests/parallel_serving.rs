@@ -10,10 +10,11 @@
 //!   `Rc<RefCell<..>>`-style sharing can creep back into the public API.
 
 use mx_llm::{
-    Category, DecodePath, Event, EventKind, FinishReason, Histogram, KvCache, LatencySummary, LayerKvCache,
-    ModelConfig, ModelQuantConfig, MonotonicClock, PagePool, PagedKvCache, PagedLayerReader, PagedScratch, PagingError,
-    QuantileSummary, Sampling, Sequence, ServingEngine, ServingReport, SharedPrefix, SpilledKv, SubmitOptions,
-    Telemetry, TelemetryConfig, TestClock, Trace, TransformerModel,
+    Category, DecodePath, DrainReport, Event, EventKind, FaultKind, FaultPlan, FinishReason, Histogram, KvCache,
+    LatencySummary, LayerKvCache, ModelConfig, ModelQuantConfig, MonotonicClock, PagePool, PagedKvCache,
+    PagedLayerReader, PagedScratch, PagingError, QuantileSummary, RecoveryPolicy, Sampling, Sequence, ServingEngine,
+    ServingReport, SharedPrefix, SpilledKv, SubmitOptions, Telemetry, TelemetryConfig, TestClock, Trace,
+    TransformerModel,
 };
 
 fn model() -> TransformerModel {
@@ -41,6 +42,12 @@ fn serving_stack_is_send_and_sync() {
     assert_send_sync::<SharedPrefix>();
     assert_send_sync::<PagedLayerReader<'static>>();
     assert_send_sync::<FinishReason>();
+    // Fault-tolerance surface (ISSUE-9): plans are built on one thread and installed on
+    // an engine that fans out across workers; reports cross the drain/shutdown boundary.
+    assert_send_sync::<FaultPlan>();
+    assert_send_sync::<FaultKind>();
+    assert_send_sync::<RecoveryPolicy>();
+    assert_send_sync::<DrainReport>();
     // Telemetry types reachable from the serving API (ISSUE-8): the hub is shared by
     // every worker thread, and reports embed the summary types.
     assert_send_sync::<Telemetry>();

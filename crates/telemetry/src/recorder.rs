@@ -24,6 +24,9 @@ pub enum Category {
     Worker,
     /// Pool-occupancy gauges sampled at pass boundaries.
     Occupancy,
+    /// Fault-tolerance lifecycle: injected faults, worker panics and respawns,
+    /// checkpoint retries, deadline misses and load shedding.
+    Fault,
 }
 
 impl Category {
@@ -35,6 +38,7 @@ impl Category {
             Category::Pass => "pass",
             Category::Worker => "worker",
             Category::Occupancy => "occupancy",
+            Category::Fault => "fault",
         }
     }
 }

@@ -37,7 +37,7 @@ impl Trace {
     /// The distinct categories present, in taxonomy order.
     #[must_use]
     pub fn categories(&self) -> Vec<Category> {
-        [Category::Lifecycle, Category::Pass, Category::Worker, Category::Occupancy]
+        [Category::Lifecycle, Category::Pass, Category::Worker, Category::Occupancy, Category::Fault]
             .into_iter()
             .filter(|c| self.events.iter().any(|e| e.cat == *c))
             .collect()

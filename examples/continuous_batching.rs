@@ -15,8 +15,8 @@
 //! JSON loadable in `chrome://tracing` or Perfetto).
 
 use mxplus::llm::{
-    FinishReason, ModelConfig, ModelQuantConfig, QuantileSummary, ServingEngine, SubmitOptions, TelemetryConfig,
-    TransformerModel,
+    FaultKind, FaultPlan, FinishReason, ModelConfig, ModelQuantConfig, QuantileSummary, RecoveryPolicy, ServingEngine,
+    SubmitOptions, TelemetryConfig, TransformerModel,
 };
 
 fn main() {
@@ -97,6 +97,9 @@ fn main() {
                 Some(FinishReason::Length) => "length",
                 Some(FinishReason::Stop) => "stop",
                 Some(FinishReason::Evicted) => "evicted",
+                Some(FinishReason::Failed { .. }) => "failed",
+                Some(FinishReason::DeadlineExceeded) => "deadline",
+                Some(FinishReason::Shed) => "shed",
                 None => "unfinished?",
             }
         );
@@ -253,5 +256,34 @@ fn main() {
     println!(
         "\nPreemption: {} swap(s); the preempted sequence resumed bit-identically (asserted vs solo decode)",
         preempt_report.preemptions
+    );
+
+    // Fault tolerance: the same oversubscribed workload under a seeded fault plan —
+    // worker panics at drawn job counters plus a denied admission reservation. Each
+    // panic is caught inside the worker, the dead worker is respawned at the pass
+    // boundary, and the lost sequence rolls back to its last checkpoint and replays;
+    // every token must still match the fault-free runs above.
+    let mut chaos = ServingEngine::paged(&model, pages)
+        .with_threads(4)
+        .with_faults(FaultPlan::seeded(11).kill_workers(2, 6).inject(FaultKind::ReservationDenied { attempt: 0 }))
+        .with_recovery(RecoveryPolicy { checkpoint_every: 2, max_attempts: 8, backoff_passes: 1 });
+    submit_workload(&mut chaos);
+    // The injected panics are caught by the engine; mute the default hook so the
+    // demo output isn't littered with backtraces from faults that are by design.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let chaos_report = chaos.run();
+    std::panic::set_hook(hook);
+    assert!(chaos_report.worker_restarts >= 1, "at least one injected panic must fire");
+    assert_eq!(chaos_report.failed, 0, "the retry budget must absorb every injected panic");
+    for (seq, expected) in chaos.sequences().iter().zip(&reference) {
+        assert_eq!(&seq.generated, expected, "fault recovery changed sequence {}", seq.id);
+    }
+    assert_eq!(chaos.pool().unwrap().in_use_pages(), 0, "all pages must return after recovery");
+    println!(
+        "\nFault injection: {} worker restart(s), {} checkpoint retr{}, 0 failed; tokens identical by assertion",
+        chaos_report.worker_restarts,
+        chaos_report.retries,
+        if chaos_report.retries == 1 { "y" } else { "ies" },
     );
 }
