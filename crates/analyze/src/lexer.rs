@@ -88,6 +88,11 @@ pub struct LexedFile {
     pub tokens: Vec<Token>,
     /// Suppression comments found in the file.
     pub suppressions: Suppressions,
+    /// 1-based lines carrying a `//` line comment of any kind (doc comments included).
+    pub comment_lines: Vec<usize>,
+    /// 1-based lines whose comment documents safety: a `// SAFETY:` marker or a rustdoc
+    /// `# Safety` heading. Consumed by the `unsafe-safety-comment` rule.
+    pub safety_lines: Vec<usize>,
 }
 
 struct Cursor {
@@ -155,6 +160,8 @@ pub fn lex(source: &str) -> LexedFile {
     let mut cur = Cursor { chars: source.chars().collect(), i: 0, line: 1, col: 1 };
     let mut tokens = Vec::new();
     let mut entries: Vec<Suppression> = Vec::new();
+    let mut comment_lines: Vec<usize> = Vec::new();
+    let mut safety_lines: Vec<usize> = Vec::new();
 
     while !cur.done() {
         let (line, col) = (cur.line, cur.col);
@@ -176,6 +183,11 @@ pub fn lex(source: &str) -> LexedFile {
                 cur.bump();
             }
             record_suppressions(&text, line, col, &mut entries);
+            comment_lines.push(line);
+            let body = text.trim_start_matches(['/', '!']).trim_start();
+            if body.starts_with("SAFETY:") || body.starts_with("# Safety") {
+                safety_lines.push(line);
+            }
             continue;
         }
 
@@ -260,7 +272,7 @@ pub fn lex(source: &str) -> LexedFile {
         tokens.push(Token { kind: TokenKind::Punct(c), line, col });
     }
 
-    LexedFile { tokens, suppressions: Suppressions { entries } }
+    LexedFile { tokens, suppressions: Suppressions { entries }, comment_lines, safety_lines }
 }
 
 /// Consume a string body after the opening `"`, honoring escapes.

@@ -43,6 +43,9 @@ pub enum Rule {
     /// L8: every binding from `reserve` must reach a release or a handoff on every
     /// path, including early returns and `?` edges.
     MustRelease,
+    /// L9: every `unsafe` block, fn, or impl in library code must be immediately
+    /// preceded by a `// SAFETY:` comment (a rustdoc `# Safety` heading also counts).
+    UnsafeSafetyComment,
     /// Meta: an `allow(...)` suppression that silences nothing, or lacks its
     /// required `reason:` tail.
     MetaUnusedAllow,
@@ -59,6 +62,7 @@ impl Rule {
             Rule::PageLifecycle => "page-lifecycle",
             Rule::GuardLiveness => "guard-liveness",
             Rule::MustRelease => "must-release",
+            Rule::UnsafeSafetyComment => "unsafe-safety-comment",
             Rule::MetaUnusedAllow => "meta-unused-allow",
         }
     }
@@ -402,6 +406,18 @@ fn check_tokens(
             }
         }
 
+        // L9: `unsafe` in library code needs an adjacent safety justification.
+        if class.library && !in_test && name == "unsafe" && !safety_documented(lexed, i) {
+            push(
+                findings,
+                tok,
+                Rule::UnsafeSafetyComment,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment (or `# Safety` doc \
+                 section) stating the upheld invariants"
+                    .to_string(),
+            );
+        }
+
         // L3: relaxed ordering on refcount read-modify-writes.
         if prev_dot && next_paren && ORDERING_OPS.contains(&name) && i >= 2 {
             if let Some(field) = tokens[i - 2].ident() {
@@ -457,6 +473,75 @@ fn check_tokens(
             }
         }
     }
+}
+
+/// Is the `unsafe` token at index `i` safety-documented? A `// SAFETY:` line (or rustdoc
+/// `# Safety` heading) counts when it sits on the token's own line, on the anchor line of
+/// its item (above any attribute stack and visibility qualifiers), or anywhere in the
+/// contiguous comment-only block directly above that anchor — so a multi-line comment or
+/// a doc block's `# Safety` section both satisfy the rule.
+fn safety_documented(lexed: &LexedFile, i: usize) -> bool {
+    let tokens = &lexed.tokens;
+    let anchor = unsafe_anchor_line(tokens, i);
+    let is_safety = |l: usize| lexed.safety_lines.contains(&l);
+    if is_safety(tokens[i].line) || is_safety(anchor) {
+        return true;
+    }
+    let mut l = anchor;
+    while l > 1 {
+        l -= 1;
+        // Comment-only line: carries a `//` comment and no tokens of its own.
+        if !lexed.comment_lines.contains(&l) || tokens.iter().any(|t| t.line == l) {
+            return false;
+        }
+        if is_safety(l) {
+            return true;
+        }
+    }
+    false
+}
+
+/// First line of the item owning the `unsafe` token at `i`: walks backward over
+/// qualifier keywords (`pub`, `pub(crate)`, `const`, `extern`) and any stack of `#[...]`
+/// attributes, so the safety comment may sit above a `#[target_feature]` attribute.
+fn unsafe_anchor_line(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    while let Some(prev) = j.checked_sub(1).map(|p| &tokens[p]) {
+        if prev.ident().is_some_and(|s| matches!(s, "pub" | "const" | "extern")) {
+            j -= 1;
+        } else if prev.is_punct(')') {
+            // `pub(crate)` / `pub(in path)`: jump to the `(`; the `pub` is next round.
+            match open_bracket_before(tokens, j - 1, '(', ')') {
+                Some(open) if open > 0 && tokens[open - 1].ident() == Some("pub") => j = open,
+                _ => break,
+            }
+        } else if prev.is_punct(']') {
+            // An attribute `#[...]` directly above; jump to its `#`.
+            match open_bracket_before(tokens, j - 1, '[', ']') {
+                Some(open) if open > 0 && tokens[open - 1].is_punct('#') => j = open - 1,
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+    tokens[j].line
+}
+
+/// Index of the `open` bracket matching the `close` bracket at index `close_at`.
+fn open_bracket_before(tokens: &[Token], close_at: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for k in (0..=close_at).rev() {
+        if tokens[k].is_punct(close) {
+            depth += 1;
+        } else if tokens[k].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
 }
 
 /// Does the argument list opening at `open` contain the identifier `Relaxed`?

@@ -13,6 +13,11 @@ pub fn quiet(v: Option<usize>, engine: &mut ServingEngine, pool: &PagePool, cach
     a + b
 }
 
+pub fn unsafe_quiet(p: *const u8) -> u8 {
+    // mx-analyze: allow(unsafe-safety-comment) reason: fixture pointer is always valid
+    unsafe { *p }
+}
+
 pub struct Refs {
     refs: std::sync::atomic::AtomicUsize,
 }

@@ -1,0 +1,35 @@
+//! Must-not-fire fixture for `unsafe-safety-comment`: every `unsafe` carries an
+//! adjacent justification in one of the accepted shapes.
+
+pub fn commented_block(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points at a live byte.
+    unsafe { *p }
+}
+
+pub fn trailing_comment(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: same-line trailing form
+}
+
+/// Reads a byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+#[inline]
+#[target_feature(enable = "sse2")]
+pub unsafe fn doc_section(p: *const u8) -> u8 {
+    // SAFETY: delegated to the caller contract documented above.
+    unsafe { *p }
+}
+
+// SAFETY: a comment above the attribute stack also counts; it belongs to the item.
+#[target_feature(enable = "sse2")]
+pub unsafe fn comment_above_attrs(p: *const u8) -> u8 {
+    // SAFETY: delegated to the caller contract.
+    unsafe { *p }
+}
+
+pub struct Wrapper(*mut u8);
+
+// SAFETY: the wrapped pointer is only ever dereferenced by one thread at a time.
+unsafe impl Send for Wrapper {}

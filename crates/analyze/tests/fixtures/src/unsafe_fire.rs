@@ -1,0 +1,16 @@
+//! Must-fire fixture for `unsafe-safety-comment`: naked `unsafe` constructs in library
+//! code with no adjacent safety justification.
+
+pub fn naked_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn attributed_fn(p: *const u8) -> u8 {
+    // SAFETY: the interior block is documented, but the fn declaration is not.
+    unsafe { *p }
+}
+
+pub struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}

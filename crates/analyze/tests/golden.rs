@@ -166,6 +166,33 @@ fn send_sync_audit_must_fire_on_uncovered_pub_type() {
 }
 
 #[test]
+fn unsafe_safety_comment_must_fire() {
+    let findings = check(&["src/unsafe_fire.rs"]);
+    assert_eq!(lines_of(&findings, "unsafe-safety-comment"), vec![5, 9, 16], "findings: {findings:?}");
+    assert_eq!(findings.len(), 3);
+    // The naked block: `    unsafe { *p }` puts `unsafe` at column 5.
+    assert_eq!((findings[0].line, findings[0].col), (5, 5));
+    // The attributed fn fires even though its *interior* block is documented.
+    assert_eq!((findings[1].line, findings[1].col), (9, 5));
+    // The bare `unsafe impl Send`.
+    assert_eq!((findings[2].line, findings[2].col), (16, 1));
+    assert!(findings[0].message.contains("SAFETY"), "findings: {findings:?}");
+}
+
+#[test]
+fn unsafe_safety_comment_must_not_fire() {
+    // Accepted shapes: comment directly above, same-line trailing, rustdoc `# Safety`
+    // section above an attribute stack, plain comment above the attribute stack, and a
+    // commented `unsafe impl`.
+    let findings = check(&["src/unsafe_clean.rs"]);
+    assert!(findings.is_empty(), "findings: {findings:?}");
+    // Test code is exempt like the other library-only rules.
+    let (_, source) = fixture("src/unsafe_fire.rs");
+    let as_test = check_sources(&[(PathBuf::from("tests/unsafe_fire.rs"), source)]);
+    assert!(as_test.is_empty(), "findings: {as_test:?}");
+}
+
+#[test]
 fn meta_unused_allow_must_fire() {
     let findings = check(&["src/meta_fire.rs"]);
     assert_eq!(lines_of(&findings, "meta-unused-allow"), vec![5, 10], "findings: {findings:?}");
@@ -185,7 +212,7 @@ fn suppression_comments_silence_every_rule_and_carry_reasons() {
     let files = vec![fixture("src/suppressed.rs")];
     let report = analyze_sources(&files);
     assert!(report.findings.is_empty(), "suppressions ignored: {:?}", report.findings);
-    assert_eq!(report.suppressed.len(), 5, "suppressed: {:?}", report.suppressed);
+    assert_eq!(report.suppressed.len(), 6, "suppressed: {:?}", report.suppressed);
     for s in &report.suppressed {
         let reason = s.reason.as_deref().unwrap_or_else(|| panic!("missing reason: {:?}", s.finding));
         assert!(!reason.is_empty(), "empty reason: {:?}", s.finding);
@@ -255,6 +282,7 @@ fn cli_exits_nonzero_on_must_fire_fixtures() {
         "atomic-ordering",
         "deprecated-submit",
         "send-sync-audit",
+        "src/unsafe_fire.rs:5:5: unsafe-safety-comment:",
     ] {
         assert!(stdout.contains(needle), "missing `{needle}` in:\n{stdout}");
     }

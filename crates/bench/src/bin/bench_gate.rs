@@ -1,22 +1,33 @@
-//! Serving-throughput regression gate for CI.
+//! Throughput regression gate for CI.
 //!
-//! Compares a freshly produced serving-latency snapshot (the kv_paging bench's
-//! `--json` mode) against the committed `BENCH_serving.json` baseline, entry by entry:
-//! the run fails if any label's `tokens_per_sec_wall` drops more than the given
-//! tolerance below the baseline, or if a baseline label is missing from the snapshot.
-//! Faster-than-baseline entries always pass — the gate guards regressions, not noise
-//! in the lucky direction.
+//! Compares a freshly produced bench snapshot (`--json` mode of the kv_paging or
+//! kernels bench) against its committed baseline (`BENCH_serving.json` /
+//! `BENCH_kernels.json`), entry by entry: the run fails if any label's throughput —
+//! `tokens_per_sec_wall` for serving entries, `throughput` for kernel entries — drops
+//! more than the given tolerance below the baseline, or if a baseline label is missing
+//! from the snapshot. Faster-than-baseline entries always pass — the gate guards
+//! regressions, not noise in the lucky direction.
 //!
 //! Usage: `bench_gate <baseline.json> <fresh.json> [tolerance]` (tolerance is a
 //! fraction, default 0.15 = -15%).
 //!
-//! The parser is a deliberately tiny substring scan over the snapshot's known, flat
-//! shape (`"label":"..."` followed by `"tokens_per_sec_wall":<num>` within the same
-//! entry) — no JSON dependency, byte-stable against reordering of other fields.
+//! The parser is a deliberately tiny substring scan over the snapshots' known, flat
+//! shape (`"label":"..."` followed by the throughput field within the same entry) — no
+//! JSON dependency, byte-stable against reordering of other fields. The quoted needles
+//! cannot confuse `"throughput":` with `"scalar_throughput":` (no leading quote there),
+//! and the serving key is tried first so mixed documents stay unambiguous.
 
 use std::process::ExitCode;
 
-/// Extracts `(label, tokens_per_sec_wall)` pairs from a serving-snapshot JSON string.
+/// Reads the number following `needle` within `scope`, if present.
+fn field_value(scope: &str, needle: &str) -> Option<f64> {
+    let num = &scope[scope.find(needle)? + needle.len()..];
+    let end = num.find([',', '}']).unwrap_or(num.len());
+    num[..end].trim().parse::<f64>().ok()
+}
+
+/// Extracts `(label, throughput)` pairs from a snapshot JSON string: the serving key
+/// `tokens_per_sec_wall` when present, else the kernel key `throughput`.
 fn throughput_entries(json: &str) -> Vec<(String, f64)> {
     let mut entries = Vec::new();
     let mut rest = json;
@@ -28,12 +39,9 @@ fn throughput_entries(json: &str) -> Vec<(String, f64)> {
         // The throughput field lives in the same entry object, before the next label.
         let scope_end = rest.find("\"label\":\"").unwrap_or(rest.len());
         let scope = &rest[..scope_end];
-        if let Some(num_at) = scope.find("\"tokens_per_sec_wall\":") {
-            let num = &scope[num_at + "\"tokens_per_sec_wall\":".len()..];
-            let end = num.find([',', '}']).unwrap_or(num.len());
-            if let Ok(value) = num[..end].trim().parse::<f64>() {
-                entries.push((label, value));
-            }
+        let value = field_value(scope, "\"tokens_per_sec_wall\":").or_else(|| field_value(scope, "\"throughput\":"));
+        if let Some(value) = value {
+            entries.push((label, value));
         }
     }
     entries
@@ -122,5 +130,18 @@ mod tests {
         // An entry without the field must not steal the next entry's number.
         let json = "{\"label\":\"x\",\"other\":1},{\"label\":\"y\",\"tokens_per_sec_wall\":5}";
         assert_eq!(throughput_entries(json), vec![("y".to_string(), 5.0)]);
+    }
+
+    #[test]
+    fn parses_kernel_snapshot_throughput_not_the_scalar_reference() {
+        // Kernel entries use the `throughput` key; `scalar_throughput` has no leading
+        // quote before "throughput" and must never be picked up, in either order.
+        let json = concat!(
+            "{\"bench\":\"kernels\",\"entries\":[",
+            "{\"label\":\"pack_4bit\",\"throughput\":9000.5,\"scalar_throughput\":1000.0},",
+            "{\"label\":\"only_scalar\",\"scalar_throughput\":77.0}",
+            "]}"
+        );
+        assert_eq!(throughput_entries(json), vec![("pack_4bit".to_string(), 9000.5)]);
     }
 }

@@ -96,6 +96,26 @@ pub mod snapshot {
     pub fn document_json(bench: &str, entries: &[String]) -> String {
         format!("{{\"bench\":\"{bench}\",\"entries\":[{}]}}\n", entries.join(","))
     }
+
+    /// Renders one kernel-throughput entry (the kernels bench's `--json` mode): the
+    /// dispatched throughput in `unit`s per second, the scalar-reference throughput,
+    /// and their ratio. `throughput` is deliberately the first field — `bench_gate`
+    /// compares it per label, and the leading position keeps the substring scan away
+    /// from `scalar_throughput`.
+    #[must_use]
+    pub fn kernel_entry_json(label: &str, unit: &str, throughput: f64, scalar_throughput: f64) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"throughput\":{:.1},\"unit\":\"{}_per_sec\",",
+                "\"scalar_throughput\":{:.1},\"speedup_vs_scalar\":{:.3}}}"
+            ),
+            label,
+            finite(throughput),
+            unit,
+            finite(scalar_throughput),
+            finite(throughput / scalar_throughput),
+        )
+    }
 }
 
 /// Shared evaluation settings for the model-quality harnesses, kept small enough that each

@@ -41,26 +41,9 @@ impl MxBlock {
     /// reserved zero-block scale.
     #[must_use]
     pub fn quantize(element: ElementType, values: &[f32]) -> Self {
-        let shared = scale::shared_exponent(values, element.emax());
-        match shared {
-            None => MxBlock { element, scale: SharedScale::ZERO_BLOCK, codes: vec![0; values.len()] },
-            Some(exp) => {
-                let scale = SharedScale::from_exponent(exp);
-                let s = scale.value();
-                let codes = values
-                    .iter()
-                    .map(|&v| {
-                        let scaled = v / s;
-                        if element.is_int() {
-                            minifloat::encode_int(element, scaled)
-                        } else {
-                            minifloat::encode_fp(element, scaled)
-                        }
-                    })
-                    .collect();
-                MxBlock { element, scale, codes }
-            }
-        }
+        let mut codes = vec![0u8; values.len()];
+        let scale = quantize_codes_into(element, values, &mut codes);
+        MxBlock { element, scale, codes }
     }
 
     /// Reconstructs the block from stored parts.
@@ -162,6 +145,32 @@ impl MxBlock {
     pub fn storage_bits(&self) -> usize {
         self.codes.len() * self.element.bits() as usize + 8
     }
+}
+
+/// Quantizes `values` into per-element codes written to `codes` and returns the shared
+/// scale — the allocation-free core of [`MxBlock::quantize`], for hot paths (the packed
+/// row encoder) that reuse one stack buffer across blocks.
+///
+/// # Panics
+///
+/// Panics if `codes.len() != values.len()`.
+pub fn quantize_codes_into(element: ElementType, values: &[f32], codes: &mut [u8]) -> SharedScale {
+    assert_eq!(codes.len(), values.len(), "code buffer length must equal block length");
+    let Some(exp) = scale::shared_exponent(values, element.emax()) else {
+        codes.fill(0);
+        return SharedScale::ZERO_BLOCK;
+    };
+    let scale = SharedScale::from_exponent(exp);
+    let s = scale.value();
+    for (c, &v) in codes.iter_mut().zip(values) {
+        let scaled = v / s;
+        *c = if element.is_int() {
+            minifloat::encode_int(element, scaled)
+        } else {
+            minifloat::encode_fp(element, scaled)
+        };
+    }
+    scale
 }
 
 /// Splits a row into blocks of `block_size`, quantizes each with `element`, and returns

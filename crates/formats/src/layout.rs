@@ -8,36 +8,43 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::block::MxBlock;
+use crate::block::{self, MxBlock};
 use crate::element::ElementType;
 use crate::error::FormatError;
+use crate::kernels::{self, code_at, pack_codes_into, unpack_codes_into, MAX_FUSED_BLOCK};
 use crate::minifloat;
 use crate::mxfp::MxFormat;
-use crate::mxplus::{MxPlusBlock, MxPlusFormat};
+use crate::mxplus::{self, MxPlusBlock, MxPlusFormat};
 use crate::quantize::QuantScheme;
 use crate::scale::SharedScale;
 
 /// Packs a sequence of element codes of width `bits` into a byte vector (little-endian bit
-/// order within each byte).
+/// order within each byte). Thin allocating wrapper over
+/// [`pack_codes_into`](crate::kernels::pack_codes_into); hot paths call the into-buffer
+/// form directly.
 #[must_use]
 pub fn pack_codes(codes: &[u8], bits: u32) -> Vec<u8> {
-    let mut out = vec![0u8; (codes.len() * bits as usize).div_ceil(8)];
+    let mut out = vec![0u8; kernels::packed_len(codes.len(), bits)];
     pack_codes_into(codes, bits, &mut out);
     out
 }
 
-/// Unpacks `count` element codes of width `bits` from a packed byte buffer.
+/// Unpacks `count` element codes of width `bits` from a packed byte buffer. Thin
+/// allocating wrapper over [`unpack_codes_into`](crate::kernels::unpack_codes_into); hot
+/// paths call the into-buffer form directly.
 ///
 /// # Errors
 ///
 /// Returns [`FormatError::PackedLength`] if the buffer is too short.
 pub fn unpack_codes(packed: &[u8], bits: u32, count: usize) -> Result<Vec<u8>, FormatError> {
     assert!((1..=8).contains(&bits), "element width must be between 1 and 8 bits");
-    let needed = (count * bits as usize).div_ceil(8);
+    let needed = kernels::packed_len(count, bits);
     if packed.len() < needed {
         return Err(FormatError::PackedLength { expected: needed, actual: packed.len() });
     }
-    Ok((0..count).map(|i| code_at(packed, bits, i)).collect())
+    let mut out = vec![0u8; count];
+    unpack_codes_into(packed, bits, &mut out);
+    Ok(out)
 }
 
 /// A bit-packed MX+ tensor row: element stream, shared-scale stream and metadata stream.
@@ -120,43 +127,46 @@ impl PackedMxPlusRow {
     }
 }
 
-/// Packs element codes of width `bits` into a caller-provided byte slice, zeroing the
-/// packed region first (the buffer-reusing core of [`pack_codes`]).
+/// Decodes one block's packed codes into `out` (`bm` names the MX+ block-max slot, if
+/// any), bit-identically to the original per-code scalar loop.
 ///
-/// # Panics
-///
-/// Panics if `bits` is outside `1..=8` or `out` is shorter than the packed size of
-/// `codes`.
-fn pack_codes_into(codes: &[u8], bits: u32, out: &mut [u8]) {
-    assert!((1..=8).contains(&bits), "element width must be between 1 and 8 bits");
-    let needed = (codes.len() * bits as usize).div_ceil(8);
-    assert!(out.len() >= needed, "packed output buffer too short");
-    out[..needed].fill(0);
-    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 };
-    for (i, &code) in codes.iter().enumerate() {
-        let value = u16::from(code) & mask;
-        let bit_pos = i * bits as usize;
-        let byte = bit_pos / 8;
-        let offset = bit_pos % 8;
-        out[byte] |= (value << offset) as u8;
-        if offset + bits as usize > 8 {
-            out[byte + 1] |= (value >> (8 - offset)) as u8;
+/// The fast path bulk-unpacks the codes through the dispatched kernel into a stack
+/// buffer and maps them through the per-element-type decode table — the same decoder
+/// outputs, minus the per-element bit extraction and decode branching. Forced-scalar
+/// mode and oversized blocks take the original random-access reference loop.
+fn decode_block(element: ElementType, scale: SharedScale, code_bytes: &[u8], bm: Option<usize>, out: &mut [f32]) {
+    if scale.is_zero_block() {
+        out.fill(0.0);
+        return;
+    }
+    let s = scale.value();
+    let bits = element.bits();
+    if kernels::scalar_forced() || out.len() > MAX_FUSED_BLOCK {
+        for (i, o) in out.iter_mut().enumerate() {
+            let c = code_at(code_bytes, bits, i);
+            let e = if bm == Some(i) {
+                minifloat::decode_bm_extended(element, c)
+            } else if element.is_int() {
+                minifloat::decode_int(element, c)
+            } else {
+                minifloat::decode_fp(element, c)
+            };
+            *o = e * s;
         }
+        return;
     }
-}
-
-/// Reads the `i`-th element code of width `bits` from a packed byte slice without
-/// allocating (the random-access twin of [`unpack_codes`]).
-fn code_at(packed: &[u8], bits: u32, i: usize) -> u8 {
-    let mask = if bits == 8 { 0xff } else { (1u16 << bits) - 1 };
-    let bit_pos = i * bits as usize;
-    let byte = bit_pos / 8;
-    let offset = bit_pos % 8;
-    let mut value = u16::from(packed[byte]) >> offset;
-    if offset + bits as usize > 8 {
-        value |= u16::from(packed[byte + 1]) << (8 - offset);
+    let mut codes = [0u8; MAX_FUSED_BLOCK];
+    let codes = &mut codes[..out.len()];
+    unpack_codes_into(code_bytes, bits, codes);
+    let table = kernels::decode_table(element);
+    for (o, &c) in out.iter_mut().zip(codes.iter()) {
+        *o = table[usize::from(c)] * s;
     }
-    (value & mask) as u8
+    // A BM index pointing past a short tail block decodes as if absent, matching the
+    // reference loop (where `i == bm` simply never holds).
+    if let Some(i) = bm.filter(|&i| i < out.len()) {
+        out[i] = kernels::bm_decode_table(element)[usize::from(codes[i])] * s;
+    }
 }
 
 /// A row codec that stores quantized rows **genuinely bit-packed** in caller-provided
@@ -234,30 +244,43 @@ impl RowCodec {
     /// Panics if `out.len() != self.packed_bytes(values.len())`.
     pub fn pack_row_into(&self, values: &[f32], out: &mut [u8]) {
         assert_eq!(out.len(), self.packed_bytes(values.len()), "packed row buffer size mismatch");
+        let mut codes_buf = [0u8; MAX_FUSED_BLOCK];
         match self {
             RowCodec::Mx(f) => {
                 let bits = f.element.bits();
                 let mut off = 0;
                 for chunk in values.chunks(f.block_size) {
-                    let block = MxBlock::quantize(f.element, chunk);
-                    out[off] = block.scale().to_bits();
-                    off += 1;
-                    let nb = (chunk.len() * bits as usize).div_ceil(8);
-                    pack_codes_into(block.codes(), bits, &mut out[off..off + nb]);
-                    off += nb;
+                    let nb = kernels::packed_len(chunk.len(), bits);
+                    if chunk.len() <= MAX_FUSED_BLOCK {
+                        let codes = &mut codes_buf[..chunk.len()];
+                        out[off] = block::quantize_codes_into(f.element, chunk, codes).to_bits();
+                        pack_codes_into(codes, bits, &mut out[off + 1..off + 1 + nb]);
+                    } else {
+                        let block = MxBlock::quantize(f.element, chunk);
+                        out[off] = block.scale().to_bits();
+                        pack_codes_into(block.codes(), bits, &mut out[off + 1..off + 1 + nb]);
+                    }
+                    off += 1 + nb;
                 }
             }
             RowCodec::MxPlus(f) => {
                 let bits = f.element.bits();
                 let mut off = 0;
                 for chunk in values.chunks(f.block_size) {
-                    let block = MxPlusBlock::quantize(f.element, chunk);
-                    out[off] = block.scale().to_bits();
-                    out[off + 1] = block.metadata_byte();
-                    off += 2;
-                    let nb = (chunk.len() * bits as usize).div_ceil(8);
-                    pack_codes_into(block.codes(), bits, &mut out[off..off + nb]);
-                    off += nb;
+                    let nb = kernels::packed_len(chunk.len(), bits);
+                    if chunk.len() <= MAX_FUSED_BLOCK {
+                        let codes = &mut codes_buf[..chunk.len()];
+                        let (scale, bm_index) = mxplus::quantize_codes_into(f.element, chunk, codes);
+                        out[off] = scale.to_bits();
+                        out[off + 1] = bm_index & 0x1f;
+                        pack_codes_into(codes, bits, &mut out[off + 2..off + 2 + nb]);
+                    } else {
+                        let block = MxPlusBlock::quantize(f.element, chunk);
+                        out[off] = block.scale().to_bits();
+                        out[off + 1] = block.metadata_byte();
+                        pack_codes_into(block.codes(), bits, &mut out[off + 2..off + 2 + nb]);
+                    }
+                    off += 2 + nb;
                 }
             }
             RowCodec::Dequantized(scheme) => {
@@ -282,24 +305,9 @@ impl RowCodec {
                 let mut off = 0;
                 for out_chunk in out.chunks_mut(f.block_size) {
                     let scale = SharedScale::from_bits(packed[off]);
-                    off += 1;
-                    let nb = (out_chunk.len() * bits as usize).div_ceil(8);
-                    let codes = &packed[off..off + nb];
-                    off += nb;
-                    if scale.is_zero_block() {
-                        out_chunk.fill(0.0);
-                        continue;
-                    }
-                    let s = scale.value();
-                    for (i, o) in out_chunk.iter_mut().enumerate() {
-                        let c = code_at(codes, bits, i);
-                        let e = if f.element.is_int() {
-                            minifloat::decode_int(f.element, c)
-                        } else {
-                            minifloat::decode_fp(f.element, c)
-                        };
-                        *o = e * s;
-                    }
+                    let nb = kernels::packed_len(out_chunk.len(), bits);
+                    decode_block(f.element, scale, &packed[off + 1..off + 1 + nb], None, out_chunk);
+                    off += 1 + nb;
                 }
             }
             RowCodec::MxPlus(f) => {
@@ -308,26 +316,9 @@ impl RowCodec {
                 for out_chunk in out.chunks_mut(f.block_size) {
                     let scale = SharedScale::from_bits(packed[off]);
                     let bm = usize::from(packed[off + 1] & 0x1f);
-                    off += 2;
-                    let nb = (out_chunk.len() * bits as usize).div_ceil(8);
-                    let codes = &packed[off..off + nb];
-                    off += nb;
-                    if scale.is_zero_block() {
-                        out_chunk.fill(0.0);
-                        continue;
-                    }
-                    let s = scale.value();
-                    for (i, o) in out_chunk.iter_mut().enumerate() {
-                        let c = code_at(codes, bits, i);
-                        let e = if i == bm {
-                            minifloat::decode_bm_extended(f.element, c)
-                        } else if f.element.is_int() {
-                            minifloat::decode_int(f.element, c)
-                        } else {
-                            minifloat::decode_fp(f.element, c)
-                        };
-                        *o = e * s;
-                    }
+                    let nb = kernels::packed_len(out_chunk.len(), bits);
+                    decode_block(f.element, scale, &packed[off + 2..off + 2 + nb], Some(bm), out_chunk);
+                    off += 2 + nb;
                 }
             }
             RowCodec::Dequantized(_) => {
@@ -336,6 +327,78 @@ impl RowCodec {
                 }
             }
         }
+    }
+
+    /// Walks a packed row of `len` elements block by block, handing each block's
+    /// dequantized values to `visit(block_start, values)` from a register/stack buffer —
+    /// the read primitive behind fused packed-row attention: consumers reduce each block
+    /// on the spot (e.g. fold query·key products into per-head accumulators) and the full
+    /// `f32` row is never materialized.
+    ///
+    /// The values passed to `visit` are bit-identical to the corresponding slice of
+    /// [`RowCodec::unpack_row_into`]'s output, in ascending block order. Returns `false`
+    /// *without calling `visit`* when the row must take the materializing scratch path
+    /// instead: scalar kernels are forced (see [`crate::kernels::force_scalar`]) or the
+    /// codec's block size exceeds [`MAX_FUSED_BLOCK`](crate::kernels::MAX_FUSED_BLOCK).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != self.packed_bytes(len)`.
+    pub fn walk_row_blocks<F: FnMut(usize, &[f32])>(&self, packed: &[u8], len: usize, mut visit: F) -> bool {
+        assert_eq!(packed.len(), self.packed_bytes(len), "packed row buffer size mismatch");
+        if kernels::scalar_forced() {
+            return false;
+        }
+        let mut values = [0.0f32; MAX_FUSED_BLOCK];
+        match self {
+            RowCodec::Mx(f) => {
+                if f.block_size > MAX_FUSED_BLOCK || f.block_size == 0 {
+                    return false;
+                }
+                let bits = f.element.bits();
+                let mut off = 0;
+                let mut start = 0;
+                while start < len {
+                    let n = f.block_size.min(len - start);
+                    let scale = SharedScale::from_bits(packed[off]);
+                    let nb = kernels::packed_len(n, bits);
+                    decode_block(f.element, scale, &packed[off + 1..off + 1 + nb], None, &mut values[..n]);
+                    visit(start, &values[..n]);
+                    off += 1 + nb;
+                    start += n;
+                }
+            }
+            RowCodec::MxPlus(f) => {
+                if f.block_size > MAX_FUSED_BLOCK || f.block_size == 0 {
+                    return false;
+                }
+                let bits = f.element.bits();
+                let mut off = 0;
+                let mut start = 0;
+                while start < len {
+                    let n = f.block_size.min(len - start);
+                    let scale = SharedScale::from_bits(packed[off]);
+                    let bm = usize::from(packed[off + 1] & 0x1f);
+                    let nb = kernels::packed_len(n, bits);
+                    decode_block(f.element, scale, &packed[off + 2..off + 2 + nb], Some(bm), &mut values[..n]);
+                    visit(start, &values[..n]);
+                    off += 2 + nb;
+                    start += n;
+                }
+            }
+            RowCodec::Dequantized(_) => {
+                let mut start = 0;
+                while start < len {
+                    let n = MAX_FUSED_BLOCK.min(len - start);
+                    for (o, bytes) in values[..n].iter_mut().zip(packed[4 * start..].chunks_exact(4)) {
+                        *o = f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+                    }
+                    visit(start, &values[..n]);
+                    start += n;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -509,6 +572,61 @@ mod tests {
         // representation round-trip losslessly through the byte buffer.
         codec_round_trip(QuantScheme::TopK(2), 100);
         codec_round_trip(QuantScheme::Nvfp4, 48);
+    }
+
+    #[test]
+    fn walk_row_blocks_is_bit_identical_to_unpack() {
+        for scheme in [
+            QuantScheme::mxfp4(),
+            QuantScheme::mxfp6(),
+            QuantScheme::mxfp8(),
+            QuantScheme::mxint4(),
+            QuantScheme::mxint8(),
+            QuantScheme::mxfp4_plus(),
+            QuantScheme::mxfp6_plus(),
+            QuantScheme::mxfp8_plus(),
+            QuantScheme::Fp32,
+            QuantScheme::Bf16,
+        ] {
+            for len in [1usize, 31, 32, 33, 64, 100, 130] {
+                let row = sample_row(len);
+                let codec = RowCodec::for_scheme(scheme);
+                let mut packed = vec![0u8; codec.packed_bytes(len)];
+                codec.pack_row_into(&row, &mut packed);
+                let mut expected = vec![f32::NAN; len];
+                codec.unpack_row_into(&packed, &mut expected);
+                let mut walked = vec![f32::NAN; len];
+                let mut starts = Vec::new();
+                let fused = codec.walk_row_blocks(&packed, len, |start, vals| {
+                    starts.push(start);
+                    walked[start..start + vals.len()].copy_from_slice(vals);
+                });
+                assert!(fused, "{scheme} len {len} should take the fused walk");
+                let bits: Vec<u32> = walked.iter().map(|v| v.to_bits()).collect();
+                let expected_bits: Vec<u32> = expected.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits, expected_bits, "{scheme} len {len}");
+                assert_eq!(starts.first(), Some(&0), "{scheme} len {len}");
+                assert!(starts.windows(2).all(|w| w[0] < w[1]), "blocks must arrive in order");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_row_blocks_declines_oversized_blocks() {
+        use crate::kernels::MAX_FUSED_BLOCK;
+        let scheme = QuantScheme::Mx(crate::mxfp::MxFormat::with_block_size(ElementType::E2M1, MAX_FUSED_BLOCK * 2));
+        let codec = RowCodec::for_scheme(scheme);
+        let len = MAX_FUSED_BLOCK * 2;
+        let row = sample_row(len);
+        let mut packed = vec![0u8; codec.packed_bytes(len)];
+        codec.pack_row_into(&row, &mut packed);
+        let mut called = false;
+        assert!(!codec.walk_row_blocks(&packed, len, |_, _| called = true));
+        assert!(!called);
+        // The materializing path still decodes such rows fine.
+        let mut out = vec![0.0f32; len];
+        codec.unpack_row_into(&packed, &mut out);
+        assert_eq!(out, scheme.quantize_dequantize(&row));
     }
 
     #[test]

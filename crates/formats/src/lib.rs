@@ -53,6 +53,7 @@ pub mod bf16;
 pub mod block;
 pub mod element;
 pub mod error;
+pub mod kernels;
 pub mod layout;
 pub mod metrics;
 pub mod minifloat;

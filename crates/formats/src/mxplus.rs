@@ -47,40 +47,9 @@ impl MxPlusBlock {
     /// zero and encoded with the reserved zero-block scale.
     #[must_use]
     pub fn quantize(element: ElementType, values: &[f32]) -> Self {
-        let emax = element.emax();
-        let zero_block = |len: usize| MxPlusBlock {
-            element,
-            scale: SharedScale::ZERO_BLOCK,
-            bm_index: 0,
-            reserved: 0,
-            codes: vec![0; len],
-        };
-        let Some(shared_exp) = scale::shared_exponent(values, emax) else {
-            return zero_block(values.len());
-        };
-        // Flush-to-zero rule: the shared exponent would clamp at its lower bound of -127,
-        // leaving the BM's private exponent below e_max and breaking the MX+ invariant.
-        if shared_exp < MIN_SHARED_EXP {
-            return zero_block(values.len());
-        }
-        let bm_index = MxBlock::block_max_index(values);
-        let scale = SharedScale::from_exponent(shared_exp);
-        let s = scale.value();
-        let codes = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| {
-                let scaled = v / s;
-                if i == bm_index {
-                    minifloat::encode_bm_extended(element, scaled.abs(), v.is_sign_negative())
-                } else if element.is_int() {
-                    minifloat::encode_int(element, scaled)
-                } else {
-                    minifloat::encode_fp(element, scaled)
-                }
-            })
-            .collect();
-        MxPlusBlock { element, scale, bm_index: bm_index as u8, reserved: 0, codes }
+        let mut codes = vec![0u8; values.len()];
+        let (scale, bm_index) = quantize_codes_into(element, values, &mut codes);
+        MxPlusBlock { element, scale, bm_index, reserved: 0, codes }
     }
 
     /// Reconstructs a block from stored parts (used by the packed-layout decoder).
@@ -215,6 +184,43 @@ impl MxPlusBlock {
     pub fn storage_bits(&self) -> usize {
         self.codes.len() * self.element.bits() as usize + 8 + 8
     }
+}
+
+/// Quantizes `values` into MX+ per-element codes written to `codes` (the BM slot gets the
+/// extended-mantissa code) and returns the shared scale plus the BM index — the
+/// allocation-free core of [`MxPlusBlock::quantize`], for hot paths (the packed row
+/// encoder) that reuse one stack buffer across blocks.
+///
+/// Follows Section 4.1: the BM element is identified during shared-scale computation; if
+/// the shared exponent would clamp at its lower bound of -127 the entire block is flushed
+/// to zero and encoded with the reserved zero-block scale (BM index 0).
+///
+/// # Panics
+///
+/// Panics if `codes.len() != values.len()`.
+pub fn quantize_codes_into(element: ElementType, values: &[f32], codes: &mut [u8]) -> (SharedScale, u8) {
+    assert_eq!(codes.len(), values.len(), "code buffer length must equal block length");
+    let shared_exp = scale::shared_exponent(values, element.emax());
+    // Flush-to-zero rule: below MIN_SHARED_EXP the BM's private exponent would sit below
+    // e_max, breaking the MX+ invariant that makes the exponent field redundant.
+    let Some(shared_exp) = shared_exp.filter(|&e| e >= MIN_SHARED_EXP) else {
+        codes.fill(0);
+        return (SharedScale::ZERO_BLOCK, 0);
+    };
+    let bm_index = MxBlock::block_max_index(values);
+    let scale = SharedScale::from_exponent(shared_exp);
+    let s = scale.value();
+    for (i, (c, &v)) in codes.iter_mut().zip(values).enumerate() {
+        let scaled = v / s;
+        *c = if i == bm_index {
+            minifloat::encode_bm_extended(element, scaled.abs(), v.is_sign_negative())
+        } else if element.is_int() {
+            minifloat::encode_int(element, scaled)
+        } else {
+            minifloat::encode_fp(element, scaled)
+        };
+    }
+    (scale, bm_index as u8)
 }
 
 /// An MX+ format descriptor: element type plus block size, mirroring

@@ -325,6 +325,45 @@ pub trait KvLayerReader {
     fn key_row(&mut self, t: usize) -> &[f32];
     /// The cached value row at position `t`.
     fn value_row(&mut self, t: usize) -> &[f32];
+
+    /// Fused query·key scores against the key row at position `t`, computed straight
+    /// from the backend's storage without materializing the row: for every query head
+    /// `h`, folds `q[h*head_dim + d] * key[kv(h)*head_dim + d]` into `dots[h]` term by
+    /// term (ascending `d`, GQA head mapping from `geom`), starting from `dots[h] = 0`.
+    ///
+    /// Returns `false` when the backend has no fused path (the default); the caller then
+    /// reads [`KvLayerReader::key_row`] and reduces it in the materializing loop. When it
+    /// returns `true`, `dots` must be **bit-identical** to that materializing reduction —
+    /// same products, same accumulation order — so the two paths stay token-identical.
+    fn fused_key_dots(&mut self, _t: usize, _q: &[f32], _geom: AttnGeometry, _dots: &mut [f32]) -> bool {
+        false
+    }
+
+    /// Fused probs×V accumulation against the value row at position `t`: for every query
+    /// head `h` with `probs[h] != 0.0`, adds `probs[h] * value[kv(h)*head_dim + d]` into
+    /// `out[h*head_dim + d]` term by term (zero-prob heads are skipped exactly like the
+    /// materializing loop skips them).
+    ///
+    /// Returns `false` when the backend has no fused path (the default). When it returns
+    /// `true`, `out` must be bit-identical to the materializing accumulation.
+    fn fused_value_accumulate(&mut self, _t: usize, _probs: &[f32], _geom: AttnGeometry, _out: &mut [f32]) -> bool {
+        false
+    }
+}
+
+/// Attention head geometry handed to the fused [`KvLayerReader`] fast paths.
+///
+/// `heads` query heads of `head_dim` elements each read KV rows of
+/// `(heads / group) * head_dim` elements; query head `h` attends to KV head
+/// `h / group` (grouped-query attention; `group == 1` is classic multi-head).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttnGeometry {
+    /// Number of query heads.
+    pub heads: usize,
+    /// Elements per head.
+    pub head_dim: usize,
+    /// Query heads per KV head (GQA group size, ≥ 1).
+    pub group: usize,
 }
 
 /// A KV-cache backend the transformer's zero-copy decode path can run over.

@@ -13,7 +13,7 @@ use mx_tensor::{kernels, Matrix};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{MlpKind, ModelConfig, NormKind};
-use crate::kvcache::{KvBackend, KvCache, KvLayerReader, LayerKvCache};
+use crate::kvcache::{AttnGeometry, KvBackend, KvCache, KvLayerReader, LayerKvCache};
 use crate::quant_config::ModelQuantConfig;
 use crate::weights::ModelWeights;
 
@@ -291,7 +291,13 @@ impl TransformerModel {
     /// decodes on the paged backend), the cache is walked position-outer so every cached
     /// row is loaded once per query row (not once per head), and the
     /// score/probability/query operands go through reusable scratch buffers.
-    /// Bit-identical to [`TransformerModel::attention_materialized`]: every per-(head,
+    ///
+    /// Backends with fused row kernels ([`KvLayerReader::fused_key_dots`] /
+    /// [`KvLayerReader::fused_value_accumulate`]) compute each position's per-head dot
+    /// products and value accumulation straight from their packed storage, block by block
+    /// in registers, so the full `f32` row is never materialized; backends without them
+    /// fall back to the materializing row reads below. Both routes — and
+    /// [`TransformerModel::attention_materialized`] — are bit-identical: every per-(head,
     /// position) dot product, softmax and accumulation runs in the same order on the same
     /// values.
     fn attention_zero_copy<R: KvLayerReader>(
@@ -304,9 +310,12 @@ impl TransformerModel {
         let cfg = &self.config;
         let head_dim = cfg.head_dim();
         let group = cfg.heads / cfg.kv_heads;
+        let geom = AttnGeometry { heads: cfg.heads, head_dim, group };
         let scale = 1.0 / (head_dim as f32).sqrt();
         let max_visible = start_pos + q.rows();
         let mut q_buf = vec![0.0_f32; cfg.heads * head_dim];
+        let mut dots = vec![0.0_f32; cfg.heads];
+        let mut probs_t = vec![0.0_f32; cfg.heads];
         let mut scores = Vec::with_capacity(cfg.heads * max_visible);
         let mut probs = Vec::with_capacity(cfg.heads * max_visible);
         for r in 0..q.rows() {
@@ -315,6 +324,12 @@ impl TransformerModel {
             self.quant.linear.activations.quantize_dequantize_into(q.row(r), &mut q_buf);
             scores.resize(cfg.heads * visible, 0.0);
             for t in 0..visible {
+                if reader.fused_key_dots(t, &q_buf, geom, &mut dots) {
+                    for (head, &dot) in dots.iter().enumerate() {
+                        scores[head * visible + t] = dot * scale;
+                    }
+                    continue;
+                }
                 let key_row = reader.key_row(t);
                 for head in 0..cfg.heads {
                     let qs = head * head_dim;
@@ -336,6 +351,12 @@ impl TransformerModel {
             }
             let out_row = attn_out.row_mut(r);
             for t in 0..visible {
+                for (head, p) in probs_t.iter_mut().enumerate() {
+                    *p = probs[head * visible + t];
+                }
+                if reader.fused_value_accumulate(t, &probs_t, geom, out_row) {
+                    continue;
+                }
                 let value_row = reader.value_row(t);
                 for head in 0..cfg.heads {
                     let p = probs[head * visible + t];

@@ -70,7 +70,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use mx_formats::{QuantScheme, RowCodec};
 
-use crate::kvcache::{KvBackend, KvLayerReader};
+use crate::kvcache::{AttnGeometry, KvBackend, KvLayerReader};
+use mx_tensor::kernels;
 
 /// Default number of position slots per page (the paged-attention block size).
 pub const DEFAULT_PAGE_POSITIONS: usize = 16;
@@ -486,6 +487,26 @@ pub struct PagedScratch {
     key: Vec<f32>,
     /// Reusable dequant scratch the layer readers decode value rows into.
     value: Vec<f32>,
+    /// Rows served through the fused packed-row fast path (decoded block-by-block in
+    /// registers, never landing in `key`/`value`).
+    fused_rows: usize,
+    /// Rows decoded into the `key`/`value` buffers (the materializing fallback path).
+    scratch_rows: usize,
+}
+
+impl PagedScratch {
+    /// Rows served through the fused packed-row fast path since construction.
+    #[must_use]
+    pub fn fused_rows(&self) -> usize {
+        self.fused_rows
+    }
+
+    /// Rows decoded into the f32 scratch buffers (the materializing path) since
+    /// construction. Zero when every read went through the fused kernels.
+    #[must_use]
+    pub fn scratch_rows(&self) -> usize {
+        self.scratch_rows
+    }
 }
 
 /// One sequence's KV cache stored bit-packed in pool pages (see the [module
@@ -1013,11 +1034,11 @@ where
 pub struct PagedLayerReader<'a> {
     table: &'a [PageRef],
     codec: RowCodec,
+    kv_dim: usize,
     row_bytes: usize,
     page_positions: usize,
     len: usize,
-    key_scratch: &'a mut [f32],
-    value_scratch: &'a mut [f32],
+    scratch: &'a mut PagedScratch,
 }
 
 /// The packed bytes of position `t`'s slot within its page table (free function so the
@@ -1035,14 +1056,92 @@ impl KvLayerReader for PagedLayerReader<'_> {
         // Decode through the scratch buffer: one row lives at a time, nothing larger than
         // kv_dim is ever materialized.
         let slot = packed_slot(self.table, self.page_positions, self.row_bytes, self.len, t);
-        self.codec.unpack_row_into(&slot[..self.row_bytes], self.key_scratch);
-        self.key_scratch
+        self.codec.unpack_row_into(&slot[..self.row_bytes], &mut self.scratch.key);
+        self.scratch.scratch_rows += 1;
+        &self.scratch.key
     }
 
     fn value_row(&mut self, t: usize) -> &[f32] {
         let slot = packed_slot(self.table, self.page_positions, self.row_bytes, self.len, t);
-        self.codec.unpack_row_into(&slot[self.row_bytes..], self.value_scratch);
-        self.value_scratch
+        self.codec.unpack_row_into(&slot[self.row_bytes..], &mut self.scratch.value);
+        self.scratch.scratch_rows += 1;
+        &self.scratch.value
+    }
+
+    fn fused_key_dots(&mut self, t: usize, q: &[f32], geom: AttnGeometry, dots: &mut [f32]) -> bool {
+        let slot = packed_slot(self.table, self.page_positions, self.row_bytes, self.len, t);
+        dots.fill(0.0);
+        let fused = self.codec.walk_row_blocks(&slot[..self.row_bytes], self.kv_dim, |start, vals| {
+            scatter_key_dots(q, geom, start, vals, dots);
+        });
+        if fused {
+            self.scratch.fused_rows += 1;
+        }
+        fused
+    }
+
+    fn fused_value_accumulate(&mut self, t: usize, probs: &[f32], geom: AttnGeometry, out: &mut [f32]) -> bool {
+        let slot = packed_slot(self.table, self.page_positions, self.row_bytes, self.len, t);
+        let fused = self.codec.walk_row_blocks(&slot[self.row_bytes..], self.kv_dim, |start, vals| {
+            scatter_value_accumulate(probs, geom, start, vals, out);
+        });
+        if fused {
+            self.scratch.fused_rows += 1;
+        }
+        fused
+    }
+}
+
+/// Folds one dequantized key-row block into the per-head dot accumulators.
+///
+/// Bit-exactness contract: blocks arrive in ascending element order and each run covers
+/// ascending `d` within its head, so every `dots[h]` sees exactly the term sequence the
+/// materializing loop's `zip(...).map(...).sum()` produces — same products, same order.
+fn scatter_key_dots(q: &[f32], geom: AttnGeometry, start: usize, vals: &[f32], dots: &mut [f32]) {
+    let mut j = 0usize;
+    while j < vals.len() {
+        let i = start + j;
+        let kv_head = i / geom.head_dim;
+        let d0 = i % geom.head_dim;
+        let run = (geom.head_dim - d0).min(vals.len() - j);
+        let block = &vals[j..j + run];
+        for g in 0..geom.group {
+            let h = kv_head * geom.group + g;
+            if h >= dots.len() {
+                break;
+            }
+            let qs = h * geom.head_dim + d0;
+            kernels::dot_acc_seq(&mut dots[h], &q[qs..qs + run], block);
+        }
+        j += run;
+    }
+}
+
+/// Adds one dequantized value-row block, weighted by the per-head probabilities, into the
+/// output row. Heads with probability exactly `0.0` are skipped, mirroring the
+/// materializing loop's sparse-softmax skip; element updates are independent, so only
+/// the per-position ordering (which the caller preserves) affects the bits.
+fn scatter_value_accumulate(probs: &[f32], geom: AttnGeometry, start: usize, vals: &[f32], out: &mut [f32]) {
+    let mut j = 0usize;
+    while j < vals.len() {
+        let i = start + j;
+        let kv_head = i / geom.head_dim;
+        let d0 = i % geom.head_dim;
+        let run = (geom.head_dim - d0).min(vals.len() - j);
+        let block = &vals[j..j + run];
+        for g in 0..geom.group {
+            let h = kv_head * geom.group + g;
+            if h >= probs.len() {
+                break;
+            }
+            let p = probs[h];
+            if p == 0.0 {
+                continue;
+            }
+            let os = h * geom.head_dim + d0;
+            kernels::axpy_seq(&mut out[os..os + run], p, block);
+        }
+        j += run;
     }
 }
 
@@ -1069,11 +1168,11 @@ impl KvBackend for PagedKvCache {
         PagedLayerReader {
             table: &self.tables[layer],
             codec: self.codec,
+            kv_dim: self.kv_dim,
             row_bytes: self.row_bytes,
             page_positions: self.pool.page_positions(),
             len: self.lens[layer],
-            key_scratch: &mut scratch.key,
-            value_scratch: &mut scratch.value,
+            scratch,
         }
     }
 

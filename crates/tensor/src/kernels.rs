@@ -4,6 +4,33 @@
 //! precision (BF16/FP32) and are *not* quantized to MX formats; only dot-product operands
 //! are.
 
+/// Folds `a[i] * b[i]` into `acc` one term at a time in index order, over
+/// `min(a.len(), b.len())` terms.
+///
+/// This is the attention dot-product primitive shared by the materializing and the fused
+/// packed-row paths: because f32 addition is not associative, both paths must accumulate
+/// in the *same* order to stay token-identical, and this kernel pins that order — a
+/// sequential left fold, exactly what `iter().zip(b).map(|(x, y)| x * y).sum::<f32>()`
+/// computes. The fused path calls it once per dequantized block with a pre-seeded
+/// accumulator, which is arithmetically the same sequence of operations as one call over
+/// the whole row.
+#[inline]
+pub fn dot_acc_seq(acc: &mut f32, a: &[f32], b: &[f32]) {
+    for (x, y) in a.iter().zip(b) {
+        *acc += x * y;
+    }
+}
+
+/// Adds `s * x[i]` into `out[i]` term by term, over `min(out.len(), x.len())` elements —
+/// the attention probs×V accumulation primitive, order-pinned for the same
+/// token-identity reason as [`dot_acc_seq`].
+#[inline]
+pub fn axpy_seq(out: &mut [f32], s: f32, x: &[f32]) {
+    for (o, v) in out.iter_mut().zip(x) {
+        *o += s * v;
+    }
+}
+
 /// Numerically stable softmax over a slice, in place (FP32, as in the paper's baseline).
 pub fn softmax_inplace(values: &mut [f32]) {
     if values.is_empty() {
@@ -225,5 +252,43 @@ mod tests {
         assert_ne!(p0, p5);
         // Position 0 is the identity rotation.
         assert_eq!(p0, base);
+    }
+
+    #[test]
+    fn dot_acc_seq_matches_iterator_sum_bitwise() {
+        let a: Vec<f32> = (0..97).map(|i| (i as f32 * 0.37 - 11.0).sin() * 3.0).collect();
+        let b: Vec<f32> = (0..97).map(|i| (i as f32 * 0.91 + 2.0).cos() * 0.5).collect();
+        let reference: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let mut acc = 0.0_f32;
+        dot_acc_seq(&mut acc, &a, &b);
+        assert_eq!(acc.to_bits(), reference.to_bits());
+        // Splitting into chunks with a carried accumulator is the same operation sequence.
+        let mut split = 0.0_f32;
+        for start in (0..a.len()).step_by(32) {
+            let end = (start + 32).min(a.len());
+            dot_acc_seq(&mut split, &a[start..end], &b[start..end]);
+        }
+        assert_eq!(split.to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn axpy_seq_matches_manual_loop_bitwise() {
+        let x: Vec<f32> = (0..65).map(|i| (i as f32 * 0.73 - 5.0).sin()).collect();
+        let mut reference: Vec<f32> = (0..65).map(|i| i as f32 * 0.01).collect();
+        let mut out = reference.clone();
+        for (o, &v) in reference.iter_mut().zip(&x) {
+            *o += 1.75 * v;
+        }
+        axpy_seq(&mut out, 1.75, &x);
+        let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        let expected: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, expected);
+        // Chunked application over disjoint ranges is the same operation sequence.
+        let mut chunked: Vec<f32> = (0..65).map(|i| i as f32 * 0.01).collect();
+        for start in (0..x.len()).step_by(16) {
+            let end = (start + 16).min(x.len());
+            axpy_seq(&mut chunked[start..end], 1.75, &x[start..end]);
+        }
+        assert_eq!(chunked, out);
     }
 }
